@@ -1,0 +1,323 @@
+package funabuse_test
+
+import (
+	"testing"
+	"time"
+
+	"funabuse/internal/booking"
+	"funabuse/internal/core"
+	"funabuse/internal/detect"
+	"funabuse/internal/fingerprint"
+	"funabuse/internal/geo"
+	"funabuse/internal/names"
+	"funabuse/internal/simclock"
+	"funabuse/internal/simrand"
+	"funabuse/internal/sms"
+	"funabuse/internal/weblog"
+)
+
+// Paper-artefact benchmarks: each regenerates one table or figure of the
+// evaluation end-to-end. The reported time is the cost of simulating the
+// full scenario (weeks of virtual time) plus the analysis.
+
+// BenchmarkFig1NiPDistribution regenerates Fig. 1 (three weeks of traffic,
+// attack, cap, adaptation).
+func BenchmarkFig1NiPDistribution(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunFig1(core.DefaultFig1Config(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AttackerFinalNiP != 4 {
+			b.Fatalf("attacker final NiP %d", res.AttackerFinalNiP)
+		}
+	}
+}
+
+// BenchmarkTable1SMSSurge regenerates Table I (two weeks: baseline plus
+// pumping campaign, surge analysis).
+func BenchmarkTable1SMSSurge(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunTable1(core.DefaultTable1Config(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Top10) != 10 {
+			b.Fatal("surge table truncated")
+		}
+	}
+}
+
+// BenchmarkCaseARotationWar regenerates the case A statistics (17 days of
+// traffic with an adaptive defender and rotating attacker).
+func BenchmarkCaseARotationWar(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunCaseA(core.DefaultCaseAConfig(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rotations == 0 {
+			b.Fatal("no rotation war")
+		}
+	}
+}
+
+// BenchmarkCaseBNamePatterns regenerates the case B comparison (three days
+// of mixed traffic, name-pattern analysis).
+func BenchmarkCaseBNamePatterns(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunCaseB(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AutoFlagged || !res.ManualFlagged {
+			b.Fatal("attackers not detected")
+		}
+	}
+}
+
+// BenchmarkCaseCBoardingPass regenerates the case C rate-limit ablation
+// (five postures, two weeks each).
+func BenchmarkCaseCBoardingPass(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunCaseC(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Variants) != 5 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkDetectorComparison regenerates the Section III detector
+// comparison (three days of four-class traffic, five detectors).
+func BenchmarkDetectorComparison(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunDetectionComparison(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Scores) != 5 {
+			b.Fatal("detector set incomplete")
+		}
+	}
+}
+
+// BenchmarkHoneypotEconomics regenerates the Section V honeypot comparison
+// (two one-week arms).
+func BenchmarkHoneypotEconomics(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunHoneypot(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Arms) != 2 {
+			b.Fatal("arms incomplete")
+		}
+	}
+}
+
+// BenchmarkEconomicDeterrent regenerates the Section V economic sweeps
+// (seven three-day campaigns).
+func BenchmarkEconomicDeterrent(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunEconomics(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CaptchaSweep) == 0 {
+			b.Fatal("sweep empty")
+		}
+	}
+}
+
+// BenchmarkBiometricDetection regenerates the Section V future-work
+// experiment (per-reservation behavioural biometrics, four classes).
+func BenchmarkBiometricDetection(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunBiometric(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Scores) != 4 {
+			b.Fatal("classes incomplete")
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice studies (hold TTL,
+// block-rule granularity, sessionization gap).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunAblations(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.TTL) == 0 || len(res.Granularity) == 0 || len(res.Gaps) == 0 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkCarrierMitigation regenerates the settlement-chain mitigation
+// study (one campaign settled under three compensation policies).
+func BenchmarkCarrierMitigation(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunCarrier(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Arms) != 3 {
+			b.Fatal("arms incomplete")
+		}
+	}
+}
+
+// BenchmarkPriceDistortion regenerates the Section II-A fare-manipulation
+// study (two weeks, hourly fare sampling).
+func BenchmarkPriceDistortion(b *testing.B) {
+	for i := 0; b.Loop(); i++ {
+		res, err := core.RunPricing(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Samples == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// Substrate micro-benchmarks: the per-operation costs that bound how much
+// virtual time the scenario benchmarks can cover per wall-clock second.
+
+func BenchmarkBookingHoldExpireCycle(b *testing.B) {
+	clock := simclock.NewManual(core.SimStart)
+	sys := booking.NewSystem(clock, simrand.New(1), booking.DefaultConfig())
+	sys.AddFlight(booking.Flight{ID: "F", Capacity: 1 << 30, Departure: core.SimStart.AddDate(1000, 0, 0)})
+	g := names.NewGenerator(simrand.New(2))
+	party := []names.Identity{g.Realistic()}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := sys.RequestHold(booking.HoldRequest{Flight: "F", Passengers: party}); err != nil {
+			b.Fatal(err)
+		}
+		clock.Advance(31 * time.Minute)
+	}
+}
+
+func BenchmarkFingerprintGenerate(b *testing.B) {
+	g := fingerprint.NewGenerator(simrand.New(1))
+	for b.Loop() {
+		_ = g.Organic()
+	}
+}
+
+func BenchmarkFingerprintHash(b *testing.B) {
+	f := fingerprint.NewGenerator(simrand.New(1)).Organic()
+	b.ResetTimer()
+	for b.Loop() {
+		_ = f.Hash()
+	}
+}
+
+func BenchmarkFingerprintValidate(b *testing.B) {
+	f := fingerprint.NewGenerator(simrand.New(1)).Organic()
+	b.ResetTimer()
+	for b.Loop() {
+		_ = fingerprint.Validate(f)
+	}
+}
+
+func BenchmarkSMSSend(b *testing.B) {
+	clock := simclock.NewManual(core.SimStart)
+	gw := sms.NewGateway(clock, geo.Default())
+	to := geo.PlanFor(geo.Default().MustLookup("UZ")).Random(simrand.New(1))
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := gw.Send(to, sms.KindBoardingPass, "LOC", "actor"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionize(b *testing.B) {
+	requests := synthRequests(20000)
+	b.ResetTimer()
+	for b.Loop() {
+		_ = weblog.Sessionize(requests, weblog.DefaultSessionGap)
+	}
+}
+
+func BenchmarkFeatureExtract(b *testing.B) {
+	requests := synthRequests(2000)
+	sessions := weblog.Sessionize(requests, weblog.DefaultSessionGap)
+	b.ResetTimer()
+	for b.Loop() {
+		for _, s := range sessions {
+			_ = weblog.Extract(s)
+		}
+	}
+}
+
+func BenchmarkDamerauLevenshtein(b *testing.B) {
+	for b.Loop() {
+		_ = names.DamerauLevenshtein("CHRISTOPHER ALEXANDER", "CHRISTOPER ALEXANDRE")
+	}
+}
+
+func BenchmarkNamePatternAnalyze(b *testing.B) {
+	records := synthRecords(5000)
+	det := detect.NewNamePatternDetector(detect.NamePatternConfig{})
+	b.ResetTimer()
+	for b.Loop() {
+		_ = det.Analyze(records)
+	}
+}
+
+func BenchmarkNiPDriftCompare(b *testing.B) {
+	records := synthRecords(5000)
+	drift := detect.NewNiPDrift(records, 9)
+	b.ResetTimer()
+	for b.Loop() {
+		_ = drift.Compare(records)
+	}
+}
+
+func synthRequests(n int) []weblog.Request {
+	rng := simrand.New(3)
+	out := make([]weblog.Request, 0, n)
+	at := core.SimStart
+	for i := range n {
+		at = at.Add(time.Duration(rng.Intn(20)) * time.Second)
+		out = append(out, weblog.Request{
+			Time:        at,
+			IP:          "10.0.0.1",
+			Fingerprint: uint64(i % 97),
+			Cookie:      "c" + string(rune('a'+i%23)),
+			Method:      "GET",
+			Path:        "/search",
+			Status:      200,
+			Actor:       weblog.ActorHuman,
+		})
+	}
+	return out
+}
+
+func synthRecords(n int) []booking.Record {
+	g := names.NewGenerator(simrand.New(4))
+	rng := simrand.New(5)
+	out := make([]booking.Record, 0, n)
+	for i := range n {
+		nip := 1 + rng.Intn(4)
+		ps := make([]names.Identity, nip)
+		for j := range ps {
+			ps[j] = g.Realistic()
+		}
+		out = append(out, booking.Record{
+			HoldID: booking.HoldID(i + 1), NiP: nip,
+			Outcome: booking.OutcomeAccepted, Passengers: ps,
+		})
+	}
+	return out
+}

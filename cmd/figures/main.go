@@ -1,0 +1,206 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the simulation framework:
+//
+//	figures -exp fig1       # Fig. 1  — NiP distribution across three weeks
+//	figures -exp table1     # Table I — per-country SMS surge
+//	figures -exp caseA      # Case A  — fingerprint rotation war statistics
+//	figures -exp caseB      # Case B  — automated vs manual Seat Spinning
+//	figures -exp caseC      # Case C  — SMS rate-limit key ablation
+//	figures -exp detection  # §III    — detector comparison
+//	figures -exp honeypot   # §V      — honeypot economics
+//	figures -exp economics  # §V      — economic deterrent sweeps
+//	figures -exp biometric  # §V      — behavioural-biometric future work
+//	figures -exp ablations  # design-choice studies (TTL, rule keys, gaps)
+//	figures -exp carrier    # §V      — settlement-chain mitigations
+//	figures -exp pricing    # §II-A   — DoI fare-ladder distortion
+//	figures -exp all        # everything, in order
+//
+// Pass -seed to vary the deterministic scenario seed and -csv to emit
+// machine-readable output where the experiment produces a table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"funabuse/internal/core"
+	"funabuse/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1, table1, caseA, caseB, caseC, detection, honeypot, economics, biometric, ablations, carrier, pricing, all")
+	seed := flag.Uint64("seed", 1, "deterministic scenario seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if err := run(*exp, *seed, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed uint64, csv bool) error {
+	runners := map[string]func(uint64, bool) error{
+		"fig1":      runFig1,
+		"table1":    runTable1,
+		"caseA":     runCaseA,
+		"caseB":     runCaseB,
+		"caseC":     runCaseC,
+		"detection": runDetection,
+		"honeypot":  runHoneypot,
+		"economics": runEconomics,
+		"biometric": runBiometric,
+		"ablations": runAblations,
+		"carrier":   runCarrier,
+		"pricing":   runPricing,
+	}
+	if exp == "all" {
+		for _, id := range []string{"fig1", "table1", "caseA", "caseB", "caseC", "detection", "honeypot", "economics", "biometric", "ablations", "carrier", "pricing"} {
+			if err := runners[id](seed, csv); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r(seed, csv)
+}
+
+func emit(t *metrics.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func runFig1(seed uint64, csv bool) error {
+	res, err := core.RunFig1(core.DefaultFig1Config(seed))
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	fmt.Printf("attacker: final NiP %d after cap, %d holds total\n",
+		res.AttackerFinalNiP, res.AttackerHolds)
+	return nil
+}
+
+func runTable1(seed uint64, csv bool) error {
+	res, err := core.RunTable1(core.DefaultTable1Config(seed))
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	fmt.Printf("global boarding-pass increase: %+.1f%%; countries targeted: %d; pump volume: %d\n",
+		res.GlobalIncreasePct, res.AttackCountries, res.PumpMessages)
+	fmt.Printf("owner SMS bill for pump traffic: $%.0f; attacker revenue share: $%.0f\n",
+		res.AppCostUSD, res.FraudRevenueUSD)
+	return nil
+}
+
+func runCaseA(seed uint64, csv bool) error {
+	res, err := core.RunCaseA(core.DefaultCaseAConfig(seed))
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	fmt.Printf("paper reference: mean rotation 5.3h; attack ceased 2 days before departure\n")
+	fmt.Printf("measured: mean rotation %v; ceased %v before departure\n",
+		res.MeanRotationInterval.Round(time.Minute),
+		res.Departure.Sub(res.LastAttackHold).Round(time.Hour))
+	return nil
+}
+
+func runCaseB(seed uint64, csv bool) error {
+	res, err := core.RunCaseB(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	return nil
+}
+
+func runCaseC(seed uint64, csv bool) error {
+	res, err := core.RunCaseC(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	return nil
+}
+
+func runDetection(seed uint64, csv bool) error {
+	res, err := core.RunDetectionComparison(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	fmt.Printf("sessions: human=%d scraper=%d spinner=%d pumper=%d\n",
+		res.HumanSessions, res.ScraperSessions, res.SpinnerSessions, res.PumperSessions)
+	return nil
+}
+
+func runHoneypot(seed uint64, csv bool) error {
+	res, err := core.RunHoneypot(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	return nil
+}
+
+func runBiometric(seed uint64, csv bool) error {
+	res, err := core.RunBiometric(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	return nil
+}
+
+func runAblations(seed uint64, csv bool) error {
+	res, err := core.RunAblations(seed)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables() {
+		emit(t, csv)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runCarrier(seed uint64, csv bool) error {
+	res, err := core.RunCarrier(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	return nil
+}
+
+func runPricing(seed uint64, csv bool) error {
+	res, err := core.RunPricing(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	return nil
+}
+
+func runEconomics(seed uint64, csv bool) error {
+	res, err := core.RunEconomics(seed)
+	if err != nil {
+		return err
+	}
+	emit(res.Table(), csv)
+	fmt.Printf("analytic break-even CAPTCHA solve cost: $%.4f/solve (market prices are ~$0.002)\n",
+		res.BreakEvenSolveCostUSD)
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", 1, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// The ablation study is the cheapest full experiment.
+	if err := run("ablations", 1, false); err != nil {
+		t.Fatalf("run(ablations): %v", err)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	if err := run("biometric", 1, true); err != nil {
+		t.Fatalf("run(biometric, csv): %v", err)
+	}
+}

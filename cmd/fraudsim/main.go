@@ -1,0 +1,197 @@
+// Command fraudsim runs ad-hoc functional-abuse scenarios against the
+// defended application and prints an operational report: attack volume,
+// defence actions, inventory damage and SMS billing.
+//
+//	fraudsim -scenario seatspin -days 7 -defend
+//	fraudsim -scenario smspump  -days 7
+//	fraudsim -scenario manual   -days 5 -defend
+//	fraudsim -scenario mixed    -days 3 -defend -honeypot
+//
+// All scenarios are deterministic per -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"funabuse/internal/attack"
+	"funabuse/internal/booking"
+	"funabuse/internal/core"
+	"funabuse/internal/fingerprint"
+	"funabuse/internal/metrics"
+	"funabuse/internal/proxy"
+	"funabuse/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed")
+	days := flag.Int("days", 7, "attack duration in simulated days")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	defend := flag.Bool("defend", false, "run the adaptive defender")
+	honeypot := flag.Bool("honeypot", false, "redirect flagged clients to decoy inventory (implies -defend)")
+	flag.Parse()
+
+	if err := run(*scenario, *days, *seed, *defend, *honeypot); err != nil {
+		fmt.Fprintln(os.Stderr, "fraudsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
+	if days < 1 {
+		days = 1
+	}
+	if honeypot {
+		defend = true
+	}
+	horizon := time.Duration(days) * 24 * time.Hour
+	warmup := 2 * 24 * time.Hour
+
+	envCfg := core.DefaultEnvConfig(seed)
+	envCfg.Defence = core.DefenceConfig{
+		Blocklists: defend,
+		Honeypot:   honeypot,
+	}
+	if scenario == "smspump" || scenario == "mixed" {
+		envCfg.Defence.SMSPathLimit = 700
+		envCfg.Defence.SMSPathWindow = 24 * time.Hour
+	}
+	envCfg.TargetDep = core.SimStart.Add(warmup + horizon + 72*time.Hour)
+	env := core.NewEnv(envCfg)
+
+	flights := append(env.FleetIDs(envCfg), envCfg.TargetID)
+	wl := workload.DefaultConfig(flights, core.SimStart.Add(warmup+horizon))
+	wl.HoldsPerHour = 60
+	pop := workload.NewPopulation(wl, env.App, env.App, env.App, env.Sched, env.RNG.Derive("pop"), env.Registry)
+	pop.Start()
+
+	// Warm-up: learn the baseline before the attack.
+	if err := env.Run(warmup); err != nil {
+		return err
+	}
+
+	var defender *core.Defender
+	if defend {
+		dcfg := core.DefaultDefenderConfig()
+		dcfg.RedirectToHoneypot = honeypot
+		baseline := env.Bookings.JournalBetween(core.SimStart, core.SimStart.Add(warmup))
+		defender = core.NewDefender(dcfg, env.App, env.Sched, baseline)
+		defender.Start()
+	}
+
+	var spinner *attack.SeatSpinner
+	var manual *attack.ManualSpinner
+	var pumper *attack.SMSPumper
+	until := core.SimStart.Add(warmup + horizon)
+
+	if scenario == "seatspin" || scenario == "mixed" {
+		rot := fingerprint.NewRotator(env.RNG.Derive("rot"),
+			fingerprint.NewGenerator(env.RNG.Derive("fpgen")), fingerprint.WithSpoofing())
+		spinner = attack.NewSeatSpinner(attack.SeatSpinnerConfig{
+			ID:             "spin-1",
+			Flight:         envCfg.TargetID,
+			TargetNiP:      6,
+			ReholdInterval: envCfg.Booking.HoldTTL,
+			Departure:      envCfg.TargetDep,
+			Identity:       attack.IdentityStructured,
+			Parallel:       10,
+		}, env.App, env.Sched, env.RNG.Derive("spinner"), rot,
+			env.Proxies.NewSession("SG", proxy.RotatePerRequest))
+		spinner.Start()
+	}
+	if scenario == "smspump" || scenario == "mixed" {
+		rot := fingerprint.NewRotator(env.RNG.Derive("prot"),
+			fingerprint.NewGenerator(env.RNG.Derive("pfp")), fingerprint.WithSpoofing())
+		pumper = attack.NewSMSPumper(attack.SMSPumperConfig{
+			ID:           "pump-1",
+			Flight:       envCfg.TargetID,
+			Tickets:      4,
+			SendInterval: 3 * time.Minute,
+			Until:        until,
+		}, env.App, env.App, env.Sched, env.RNG.Derive("pumper"), env.Proxies, rot, env.Registry)
+		pumper.Start()
+	}
+	if scenario == "manual" {
+		manual = attack.NewManualSpinner(attack.ManualSpinnerConfig{
+			ID:        "manc-1",
+			Flight:    envCfg.TargetID,
+			PoolSize:  6,
+			PartySize: 3,
+			MeanGap:   10 * time.Minute,
+			TypoRate:  0.1,
+			Until:     until,
+		}, env.App, env.Sched, env.RNG.Derive("manual"),
+			env.Proxies.NewSession("TH", proxy.RotatePerRequest))
+		manual.Start()
+	}
+	switch scenario {
+	case "seatspin", "smspump", "manual", "mixed":
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+
+	if err := env.Run(warmup + horizon); err != nil {
+		return err
+	}
+
+	report(env, envCfg, pop, defender, spinner, manual, pumper)
+	return nil
+}
+
+func report(
+	env *core.Env,
+	envCfg core.EnvConfig,
+	pop *workload.Population,
+	defender *core.Defender,
+	spinner *attack.SeatSpinner,
+	manual *attack.ManualSpinner,
+	pumper *attack.SMSPumper,
+) {
+	t := metrics.NewTable("fraudsim report", "Metric", "Value")
+	stats := env.App.Stats()
+	t.AddRow("requests processed", metrics.FormatInt(int64(stats.Requests)))
+	t.AddRow("requests blocked", metrics.FormatInt(int64(stats.Blocked)))
+	t.AddRow("requests rate-limited", metrics.FormatInt(int64(stats.RateLimited)))
+	t.AddRow("legitimate holds", metrics.FormatInt(int64(pop.Holds())))
+	t.AddRow("legitimate friction", metrics.FormatInt(int64(pop.Friction())))
+
+	if spinner != nil {
+		s := spinner.Stats()
+		t.AddRow("attacker holds", metrics.FormatInt(int64(s.Holds)))
+		t.AddRow("attacker rotations", metrics.FormatInt(int64(len(s.Rotations))))
+		if len(s.Rotations) > 0 {
+			t.AddRow("mean rotation interval", s.MeanRotationInterval().Round(time.Minute).String())
+		}
+		var attackRecords []booking.Record
+		for _, r := range env.Bookings.Journal() {
+			if strings.HasPrefix(r.ActorID, "spin-1") {
+				attackRecords = append(attackRecords, r)
+			}
+		}
+		seatHours := booking.SeatHours(attackRecords, envCfg.TargetID, envCfg.Booking.HoldTTL)
+		t.AddRow("seat-hours removed from sale", fmt.Sprintf("%.0f", seatHours))
+	}
+	if manual != nil {
+		t.AddRow("manual attacker holds", metrics.FormatInt(int64(manual.Holds())))
+		t.AddRow("manual attacker rejects", metrics.FormatInt(int64(manual.Rejects())))
+	}
+	if pumper != nil {
+		t.AddRow("pump messages delivered", metrics.FormatInt(int64(pumper.Sent())))
+		t.AddRow("owner SMS bill (pump)", fmt.Sprintf("$%.2f", env.Gateway.CostFor("pump-1")))
+		t.AddRow("attacker SMS revenue", fmt.Sprintf("$%.2f", env.Gateway.RevenueFor("pump-1")))
+	}
+	if defender != nil {
+		t.AddRow("defender rules installed", metrics.FormatInt(int64(defender.RulesAdded())))
+		t.AddRow("honeypot redirects", metrics.FormatInt(int64(defender.Redirects())))
+		if at, ok := defender.CapApplied(); ok {
+			t.AddRow("NiP cap applied at", at.Format(time.RFC3339))
+		}
+	}
+	if hp := env.App.Honeypot(); hp != nil {
+		t.AddRow("decoy holds absorbed", metrics.FormatInt(int64(hp.DecoyHolds())))
+	}
+	fmt.Print(t.String())
+}

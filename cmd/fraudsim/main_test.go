@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run("nonsense", 1, 1, false, false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunManualScenarioDefended(t *testing.T) {
+	if err := run("manual", 1, 1, true, false); err != nil {
+		t.Fatalf("run(manual): %v", err)
+	}
+}
+
+func TestRunMixedWithHoneypot(t *testing.T) {
+	if err := run("mixed", 1, 2, false, true); err != nil {
+		t.Fatalf("run(mixed honeypot): %v", err)
+	}
+}

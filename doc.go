@@ -1,0 +1,27 @@
+// Package funabuse is a simulation and fraud-prevention framework
+// reproducing "When Features Gets Exploited: Functional Abuse and the
+// Future of Industrial Fraud Prevention" (DSN 2025).
+//
+// The library is organised as one package per subsystem under internal/:
+//
+//   - simclock, simrand — deterministic virtual time and randomness;
+//   - geo, names, fingerprint, proxy — the identity substrates (countries
+//     and SMS pricing, passenger identities, browser fingerprints,
+//     residential proxies);
+//   - booking, sms, weblog — the exploited application substrates (seat
+//     holds with TTL, SMS delivery with per-country billing, web logs and
+//     sessionization);
+//   - attack, workload — the adversaries of the paper's case studies and
+//     the legitimate population they hide in;
+//   - detect, mitigate — behaviour-based and knowledge-based detection,
+//     and the Section V mitigations (rate limits, blocklists, CAPTCHA
+//     economics, loyalty gating, honeypot decoys);
+//   - biometric, httpgate — the Section V future-work extensions:
+//     interaction-trace biometrics and the pipeline as net/http middleware;
+//   - core — the defended application, the adaptive defender, and the
+//     experiment harness that regenerates every figure and table.
+//
+// Entry points: cmd/figures regenerates the paper's artefacts, cmd/fraudsim
+// runs ad-hoc scenarios, and examples/ contains commented walkthroughs.
+// The benchmarks in bench_test.go time one full regeneration per artefact.
+package funabuse

@@ -1,0 +1,3 @@
+module funabuse
+
+go 1.24

@@ -1,0 +1,77 @@
+package booking_test
+
+import (
+	"fmt"
+	"time"
+
+	"funabuse/internal/booking"
+	"funabuse/internal/names"
+	"funabuse/internal/simclock"
+	"funabuse/internal/simrand"
+)
+
+// Example walks the exploited feature end to end: a seat hold blocks
+// inventory without payment, expires back into stock on its TTL, and a
+// confirmed hold becomes a ticket with a record locator.
+func Example() {
+	start := time.Date(2022, time.May, 2, 9, 0, 0, 0, time.UTC)
+	clock := simclock.NewManual(start)
+	sys := booking.NewSystem(clock, simrand.New(1), booking.Config{
+		HoldTTL: 30 * time.Minute,
+		MaxNiP:  9,
+	})
+	sys.AddFlight(booking.Flight{
+		ID: "FA100", Capacity: 180, Departure: start.Add(7 * 24 * time.Hour),
+	})
+
+	passenger := names.NewGenerator(simrand.New(2)).Realistic()
+	hold, err := sys.RequestHold(booking.HoldRequest{
+		Flight:     "FA100",
+		Passengers: []names.Identity{passenger},
+		ActorID:    "customer-1",
+	})
+	if err != nil {
+		fmt.Println("hold failed:", err)
+		return
+	}
+	av, _ := sys.AvailabilityOf("FA100")
+	fmt.Printf("after hold: %d held, %d open\n", av.Held, av.Available)
+
+	// The customer walks away; the hold expires back into stock.
+	clock.Advance(31 * time.Minute)
+	av, _ = sys.AvailabilityOf("FA100")
+	fmt.Printf("after expiry: %d held, %d open\n", av.Held, av.Available)
+
+	// A second hold is confirmed into a ticket.
+	hold, _ = sys.RequestHold(booking.HoldRequest{
+		Flight:     "FA100",
+		Passengers: []names.Identity{passenger},
+		ActorID:    "customer-1",
+	})
+	ticket, _ := sys.Confirm(hold.ID)
+	fmt.Printf("ticket issued: locator has %d chars, %d sold\n",
+		len(ticket.RecordLocator), 1)
+
+	// Output:
+	// after hold: 1 held, 179 open
+	// after expiry: 0 held, 180 open
+	// ticket issued: locator has 6 chars, 1 sold
+}
+
+// ExampleNiPHistogram shows the Fig. 1 aggregation: party-size counts over
+// accepted reservations.
+func ExampleNiPHistogram() {
+	records := []booking.Record{
+		{NiP: 1, Outcome: booking.OutcomeAccepted},
+		{NiP: 1, Outcome: booking.OutcomeAccepted},
+		{NiP: 2, Outcome: booking.OutcomeAccepted},
+		{NiP: 6, Outcome: booking.OutcomeAccepted},
+		{NiP: 6, Outcome: booking.OutcomeRejectedCap}, // rejected: not counted
+	}
+	hist := booking.NiPHistogram(records, 9)
+	shares := booking.NiPShares(hist, 9)
+	fmt.Printf("NiP1=%d NiP2=%d NiP6=%d share6=%.2f\n",
+		hist[1], hist[2], hist[6], shares[5])
+	// Output:
+	// NiP1=2 NiP2=1 NiP6=1 share6=0.25
+}

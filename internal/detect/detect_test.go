@@ -1,0 +1,228 @@
+package detect
+
+import (
+	"testing"
+
+	"funabuse/internal/simrand"
+	"funabuse/internal/weblog"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 8 TP, 2 FP, 85 TN, 5 FN
+	for range 8 {
+		c.Observe(true, true)
+	}
+	for range 2 {
+		c.Observe(true, false)
+	}
+	for range 85 {
+		c.Observe(false, false)
+	}
+	for range 5 {
+		c.Observe(false, true)
+	}
+	if got := c.Precision(); got != 0.8 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 8.0/13.0 {
+		t.Fatalf("Recall = %v", got)
+	}
+	if got := c.Accuracy(); got != 0.93 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if c.F1() <= 0 || c.F1() >= 1 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+	if got := c.FalsePositiveRate(); got != 2.0/87.0 {
+		t.Fatalf("FPR = %v", got)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 || c.FalsePositiveRate() != 0 {
+		t.Fatal("empty confusion should report zeros")
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestVolumeRulesFlagHighVolume(t *testing.T) {
+	rules := DefaultVolumeRules()
+	f := weblog.Features{RequestCount: 500, ReqPerMinute: 100, DurationSec: 300}
+	v := rules.Judge(f)
+	if !v.Flagged || v.Reason != "request-count" {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+func TestVolumeRulesTrapFileWins(t *testing.T) {
+	rules := DefaultVolumeRules()
+	v := rules.Judge(weblog.Features{RequestCount: 500, TrapHit: true})
+	if !v.Flagged || v.Reason != "trap-file" {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+func TestVolumeRulesMissLowVolume(t *testing.T) {
+	// The paper's core claim: a seat-spinning session issues a handful of
+	// requests and sails through volume rules.
+	rules := DefaultVolumeRules()
+	spinner := weblog.Features{
+		RequestCount: 4, ReqPerMinute: 2, UniquePaths: 3,
+		DurationSec: 120, MeanGapSec: 40, StdGapSec: 12, GETShare: 0.5, POSTShare: 0.5,
+	}
+	if v := rules.Judge(spinner); v.Flagged {
+		t.Fatalf("low-volume session flagged: %+v", v)
+	}
+}
+
+func TestVolumeRulesRoboticTiming(t *testing.T) {
+	rules := DefaultVolumeRules()
+	f := weblog.Features{RequestCount: 30, MeanGapSec: 10, StdGapSec: 0.001, ReqPerMinute: 6}
+	v := rules.Judge(f)
+	if !v.Flagged || v.Reason != "robotic-timing" {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+// synthSamples builds a separable two-class problem: abusive sessions have
+// high request counts and rates.
+func synthSamples(rng *simrand.RNG, n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := range n {
+		if i%2 == 0 {
+			out = append(out, Sample{
+				X: []float64{rng.Normal(300, 40), rng.Normal(60, 8), rng.Normal(120, 20)},
+				Y: 1,
+			})
+		} else {
+			out = append(out, Sample{
+				X: []float64{rng.Normal(12, 4), rng.Normal(3, 1), rng.Normal(8, 3)},
+				Y: 0,
+			})
+		}
+	}
+	return out
+}
+
+func TestLogRegSeparatesClasses(t *testing.T) {
+	rng := simrand.New(1)
+	train := synthSamples(rng.Derive("train"), 400)
+	test := synthSamples(rng.Derive("test"), 200)
+	m, err := TrainLogReg(rng.Derive("sgd"), train, DefaultLogRegConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Evaluate(test)
+	if c.Accuracy() < 0.97 {
+		t.Fatalf("logreg accuracy %v on separable data (%s)", c.Accuracy(), c)
+	}
+	v := m.Judge(test[0].X)
+	if v.Reason != "logreg" {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	if _, err := TrainLogReg(simrand.New(1), nil, DefaultLogRegConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	bad := []Sample{{X: []float64{1, 2}, Y: 0}, {X: []float64{1}, Y: 1}}
+	if _, err := TrainLogReg(simrand.New(1), bad, DefaultLogRegConfig()); err == nil {
+		t.Fatal("inconsistent dimensions accepted")
+	}
+}
+
+func TestNaiveBayesSeparatesClasses(t *testing.T) {
+	rng := simrand.New(2)
+	train := synthSamples(rng.Derive("train"), 400)
+	test := synthSamples(rng.Derive("test"), 200)
+	m, err := TrainNaiveBayes(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Evaluate(test)
+	if c.Accuracy() < 0.97 {
+		t.Fatalf("naive bayes accuracy %v (%s)", c.Accuracy(), c)
+	}
+}
+
+func TestNaiveBayesSingleClass(t *testing.T) {
+	all0 := []Sample{{X: []float64{1}, Y: 0}, {X: []float64{2}, Y: 0}}
+	m, err := TrainNaiveBayes(all0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Prob([]float64{1.5}); p != 0 {
+		t.Fatalf("prob %v with empty positive class", p)
+	}
+	all1 := []Sample{{X: []float64{1}, Y: 1}}
+	m, err = TrainNaiveBayes(all1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Prob([]float64{1.5}); p != 1 {
+		t.Fatalf("prob %v with empty negative class", p)
+	}
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	rng := simrand.New(3)
+	samples := synthSamples(rng.Derive("data"), 300)
+	m, err := TrainKMeans(rng.Derive("km"), samples, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 2 {
+		t.Fatalf("K() = %d", m.K())
+	}
+	purity := m.ClusterPurity(samples)
+	// One cluster should be nearly all abusive, the other nearly none.
+	hi, lo := purity[0], purity[1]
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if hi < 0.95 || lo > 0.05 {
+		t.Fatalf("cluster purity %v", purity)
+	}
+}
+
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if _, err := TrainKMeans(simrand.New(4), nil, 2, 10); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	one := []Sample{{X: []float64{1, 1}, Y: 0}}
+	m, err := TrainKMeans(simrand.New(4), one, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Fatalf("K() = %d for single sample", m.K())
+	}
+	// Identical points: must not loop or panic.
+	same := []Sample{
+		{X: []float64{2, 2}}, {X: []float64{2, 2}}, {X: []float64{2, 2}},
+	}
+	if _, err := TrainKMeans(simrand.New(4), same, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansAssignmentsStable(t *testing.T) {
+	rng := simrand.New(5)
+	samples := synthSamples(rng.Derive("data"), 100)
+	m, err := TrainKMeans(rng.Derive("km"), samples, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Assignments(samples)
+	b := m.Assignments(samples)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("assignments not deterministic")
+		}
+	}
+}

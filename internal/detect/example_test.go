@@ -1,0 +1,74 @@
+package detect_test
+
+import (
+	"fmt"
+	"time"
+
+	"funabuse/internal/booking"
+	"funabuse/internal/detect"
+	"funabuse/internal/names"
+)
+
+// ExampleNamePatternDetector shows the passenger-detail analysis that
+// identified the paper's case-study-B attacks: a fixed lead name whose
+// birthdate rotates systematically across reservations.
+func ExampleNamePatternDetector() {
+	birth := time.Date(1980, time.January, 1, 0, 0, 0, 0, time.UTC)
+	var records []booking.Record
+	for i := range 8 {
+		records = append(records, booking.Record{
+			HoldID:  booking.HoldID(i + 1),
+			NiP:     1,
+			Outcome: booking.OutcomeAccepted,
+			ActorID: "client-77",
+			Passengers: []names.Identity{{
+				First:     "KENNETH",
+				Last:      "LUCAS",
+				BirthDate: birth.AddDate(0, 0, i), // rotates daily
+			}},
+		})
+	}
+
+	det := detect.NewNamePatternDetector(detect.NamePatternConfig{})
+	findings := det.Analyze(records)
+	for _, f := range findings {
+		fmt.Printf("%s: %s across %d reservations (%s)\n",
+			f.Pattern, f.Key, f.Reservations, f.Detail)
+	}
+	fmt.Println("suspect clients:", detect.SuspectActors(records, findings))
+
+	// Output:
+	// rotating-birthdate: KENNETH LUCAS across 8 reservations (distinct birthdates: 8)
+	// suspect clients: [client-77]
+}
+
+// ExampleNiPDrift shows the distribution-level anomaly detection that
+// exposes the Fig. 1 attack week: the party-size mix drifts sharply from
+// the learned baseline.
+func ExampleNiPDrift() {
+	mk := func(nip, n int, from int) []booking.Record {
+		out := make([]booking.Record, 0, n)
+		for i := range n {
+			out = append(out, booking.Record{
+				HoldID: booking.HoldID(from + i), NiP: nip,
+				Outcome: booking.OutcomeAccepted,
+			})
+		}
+		return out
+	}
+	// Baseline week: mostly singles and couples.
+	baseline := append(mk(1, 600, 0), mk(2, 350, 1000)...)
+	baseline = append(baseline, mk(6, 20, 2000)...)
+
+	drift := detect.NewNiPDrift(baseline, 9)
+
+	// Attack week: a flood of six-passenger holds.
+	attacked := append(mk(1, 400, 0), mk(2, 250, 1000)...)
+	attacked = append(attacked, mk(6, 400, 2000)...)
+
+	rep := drift.Compare(attacked)
+	fmt.Printf("anomalous=%v concentrated on NiP=%d\n", rep.Anomalous(), rep.TopBucket)
+
+	// Output:
+	// anomalous=true concentrated on NiP=6
+}

@@ -1,0 +1,53 @@
+package detect
+
+import (
+	"funabuse/internal/weblog"
+)
+
+// GraphRules is the navigation-graph detector of the paper's Section V
+// "advancing behavioural-based detection" direction: it flags sessions
+// whose walk over the site is degenerately repetitive — a single endpoint
+// hammered in a loop — regardless of volume or rate. It is the heuristic
+// that catches the *manual* abuse of case study C, which keeps cookies,
+// types at human speed and never trips a volume rule, but whose sessions
+// consist of nothing but reservation posts.
+type GraphRules struct {
+	// MinTransitions is the minimum walk length before the rules apply;
+	// very short sessions carry no signal.
+	MinTransitions int
+	// MaxEntropy flags walks at or below this transition entropy (bits).
+	MaxEntropy float64
+	// MinDominantShare flags walks whose single most frequent transition
+	// carries at least this share.
+	MinDominantShare float64
+	// MaxNodes restricts the rules to narrow walks; exploratory sessions
+	// touching many pages are exempt however repetitive one edge is.
+	MaxNodes int
+}
+
+// DefaultGraphRules returns thresholds separating degenerate loops from
+// organic browsing.
+func DefaultGraphRules() GraphRules {
+	return GraphRules{
+		MinTransitions:   4,
+		MaxEntropy:       0.8,
+		MinDominantShare: 0.8,
+		MaxNodes:         2,
+	}
+}
+
+// Judge evaluates one session's navigation graph.
+func (g GraphRules) Judge(f weblog.GraphFeatures) Verdict {
+	if f.Transitions < g.MinTransitions || f.Nodes > g.MaxNodes {
+		return Verdict{}
+	}
+	if f.TransitionEntropy <= g.MaxEntropy && f.DominantEdgeShare >= g.MinDominantShare {
+		return Verdict{Flagged: true, Score: 0.7, Reason: "degenerate-navigation"}
+	}
+	return Verdict{}
+}
+
+// JudgeSession extracts and evaluates in one step.
+func (g GraphRules) JudgeSession(s *weblog.Session) Verdict {
+	return g.Judge(weblog.ExtractGraph(s))
+}

@@ -1,0 +1,173 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"funabuse/internal/booking"
+	"funabuse/internal/names"
+	"funabuse/internal/simrand"
+)
+
+var base = time.Date(2024, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+func acceptedRecord(id booking.HoldID, actor string, passengers ...names.Identity) booking.Record {
+	return booking.Record{
+		Time:       base,
+		Flight:     "B200",
+		NiP:        len(passengers),
+		Outcome:    booking.OutcomeAccepted,
+		ActorID:    actor,
+		HoldID:     id,
+		Passengers: passengers,
+	}
+}
+
+func TestRotatingBirthdateDetected(t *testing.T) {
+	// Airline B pattern: fixed lead name, systematically rotating birthdate.
+	pool := names.NewPool(simrand.New(1), 4)
+	var records []booking.Record
+	for i := range 10 {
+		records = append(records, acceptedRecord(booking.HoldID(i+1), "bot-1", pool.RotatingBirthdate()))
+	}
+	findings := NewNamePatternDetector(NamePatternConfig{}).Analyze(records)
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	if findings[0].Pattern != PatternRotatingBirthdate {
+		t.Fatalf("top finding %+v", findings[0])
+	}
+	if findings[0].Reservations != 10 {
+		t.Fatalf("reservation span %d", findings[0].Reservations)
+	}
+}
+
+func TestNameReuseDetected(t *testing.T) {
+	// Airline C pattern: same fixed identity set reused across bookings.
+	pool := names.NewPool(simrand.New(2), 3)
+	fixed := pool.Permuted(3) // same three identities every time
+	var records []booking.Record
+	for i := range 8 {
+		records = append(records, acceptedRecord(booking.HoldID(i+1), "manual-1", fixed...))
+	}
+	findings := NewNamePatternDetector(NamePatternConfig{}).Analyze(records)
+	reuse := 0
+	for _, f := range findings {
+		if f.Pattern == PatternNameReuse || f.Pattern == PatternRotatingBirthdate {
+			reuse++
+		}
+	}
+	if reuse != 3 {
+		t.Fatalf("expected 3 reuse findings, got %d (%+v)", reuse, findings)
+	}
+	// Same birthdates every time: must not be classified as rotating.
+	for _, f := range findings {
+		if f.Pattern == PatternRotatingBirthdate {
+			t.Fatalf("static identity classified rotating: %+v", f)
+		}
+	}
+}
+
+func TestTypoClusterDetected(t *testing.T) {
+	r := simrand.New(3)
+	id := names.Identity{First: "CHARLOTTE", Last: "ANDERSON"}
+	var records []booking.Record
+	// Correct spelling twice, then several one-edit typo variants.
+	records = append(records, acceptedRecord(1, "manual-2", id))
+	records = append(records, acceptedRecord(2, "manual-2", id))
+	for i := range 4 {
+		records = append(records, acceptedRecord(booking.HoldID(3+i), "manual-2", names.Misspell(r, id)))
+	}
+	findings := NewNamePatternDetector(NamePatternConfig{MinReuse: 99}).Analyze(records)
+	found := false
+	for _, f := range findings {
+		if f.Pattern == PatternTypoCluster {
+			found = true
+			if f.Reservations < 3 {
+				t.Fatalf("cluster span %d", f.Reservations)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("typo cluster not detected: %+v", findings)
+	}
+}
+
+func TestLegitimateTrafficYieldsNoFindings(t *testing.T) {
+	g := names.NewGenerator(simrand.New(4))
+	var records []booking.Record
+	for i := range 200 {
+		records = append(records, acceptedRecord(booking.HoldID(i+1), "human", g.Realistic()))
+	}
+	findings := NewNamePatternDetector(NamePatternConfig{}).Analyze(records)
+	// Realistic generator can produce coincidental repeats; with 200 draws
+	// from 40x40 name combinations, 5+ repeats of one name are essentially
+	// impossible, and typo clusters require near-identical names with 3+
+	// reservations.
+	for _, f := range findings {
+		if f.Pattern != PatternTypoCluster {
+			t.Fatalf("legitimate traffic flagged: %+v", f)
+		}
+	}
+}
+
+func TestRejectedRecordsIgnored(t *testing.T) {
+	pool := names.NewPool(simrand.New(5), 2)
+	var records []booking.Record
+	for i := range 10 {
+		r := acceptedRecord(booking.HoldID(i+1), "bot", pool.RotatingBirthdate())
+		r.Outcome = booking.OutcomeRejectedCap
+		records = append(records, r)
+	}
+	findings := NewNamePatternDetector(NamePatternConfig{}).Analyze(records)
+	if len(findings) != 0 {
+		t.Fatalf("rejected records produced findings: %+v", findings)
+	}
+}
+
+func TestSuspectActors(t *testing.T) {
+	pool := names.NewPool(simrand.New(6), 2)
+	g := names.NewGenerator(simrand.New(7))
+	var records []booking.Record
+	for i := range 8 {
+		records = append(records, acceptedRecord(booking.HoldID(i+1), "bot-7", pool.RotatingBirthdate()))
+	}
+	records = append(records, acceptedRecord(100, "human-1", g.Realistic()))
+	det := NewNamePatternDetector(NamePatternConfig{})
+	findings := det.Analyze(records)
+	suspects := SuspectActors(records, findings)
+	if len(suspects) != 1 || suspects[0] != "bot-7" {
+		t.Fatalf("suspects %v", suspects)
+	}
+}
+
+func TestNamePatternString(t *testing.T) {
+	if PatternRotatingBirthdate.String() != "rotating-birthdate" ||
+		PatternNameReuse.String() != "name-reuse" ||
+		PatternTypoCluster.String() != "typo-cluster" ||
+		NamePattern(9).String() != "unknown" {
+		t.Fatal("NamePattern.String wrong")
+	}
+}
+
+func TestFindingsSortedBySpan(t *testing.T) {
+	poolA := names.NewPool(simrand.New(8), 1)
+	poolB := names.NewPool(simrand.New(9), 1)
+	var records []booking.Record
+	id := booking.HoldID(1)
+	for range 5 {
+		records = append(records, acceptedRecord(id, "a", poolA.RotatingBirthdate()))
+		id++
+	}
+	for range 12 {
+		records = append(records, acceptedRecord(id, "b", poolB.RotatingBirthdate()))
+		id++
+	}
+	findings := NewNamePatternDetector(NamePatternConfig{}).Analyze(records)
+	if len(findings) < 2 {
+		t.Fatalf("findings %+v", findings)
+	}
+	if findings[0].Reservations < findings[1].Reservations {
+		t.Fatal("findings not sorted by span")
+	}
+}

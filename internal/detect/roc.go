@@ -1,0 +1,109 @@
+package detect
+
+import (
+	"sort"
+)
+
+// ROCPoint is one operating point of a score-threshold sweep.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // recall at this threshold
+	FPR       float64
+}
+
+// ROC computes the receiver-operating-characteristic curve for a scored
+// sample set: every distinct score is used as a threshold (score >=
+// threshold flags), plus the degenerate all-negative point. Points are
+// ordered by increasing FPR.
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Descending score order; stable on index for determinism.
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	points := []ROCPoint{{Threshold: scores[idx[0]] + 1, TPR: 0, FPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < n; {
+		// Process ties together so the curve is threshold-consistent.
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pt := ROCPoint{Threshold: scores[idx[i]]}
+		if pos > 0 {
+			pt.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			pt.FPR = float64(fp) / float64(neg)
+		}
+		points = append(points, pt)
+		i = j
+	}
+	return points
+}
+
+// AUC integrates the ROC curve by the trapezoid rule. 0.5 is chance, 1.0
+// is perfect separation.
+func AUC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// Scorer is anything producing an abuse probability for a feature vector;
+// satisfied by *LogReg and *NaiveBayes.
+type Scorer interface {
+	Prob(x []float64) float64
+}
+
+// ScoreSamples runs a scorer over labelled samples and returns aligned
+// score and label slices for ROC.
+func ScoreSamples(m Scorer, samples []Sample) (scores []float64, labels []bool) {
+	scores = make([]float64, len(samples))
+	labels = make([]bool, len(samples))
+	for i, s := range samples {
+		scores[i] = m.Prob(s.X)
+		labels[i] = s.Y >= 0.5
+	}
+	return scores, labels
+}
+
+// OperatingPoint picks the ROC point with the highest TPR subject to an
+// FPR budget — how fraud teams actually choose thresholds: "catch as much
+// as possible while annoying at most x% of customers".
+func OperatingPoint(points []ROCPoint, maxFPR float64) (ROCPoint, bool) {
+	best := ROCPoint{}
+	found := false
+	for _, p := range points {
+		if p.FPR <= maxFPR && (!found || p.TPR > best.TPR) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,112 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"funabuse/internal/simrand"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	points := ROC(scores, labels)
+	if auc := AUC(points); auc != 1 {
+		t.Fatalf("AUC = %v, want 1 for perfect separation", auc)
+	}
+}
+
+func TestROCInvertedScores(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUC(ROC(scores, labels)); auc != 0 {
+		t.Fatalf("AUC = %v, want 0 for inverted scorer", auc)
+	}
+}
+
+func TestROCChanceLevel(t *testing.T) {
+	// Identical scores for both classes: one tie block, AUC = 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCMonotoneCurve(t *testing.T) {
+	rng := simrand.New(1)
+	n := 500
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range n {
+		labels[i] = rng.Bool(0.3)
+		if labels[i] {
+			scores[i] = rng.Normal(0.7, 0.2)
+		} else {
+			scores[i] = rng.Normal(0.3, 0.2)
+		}
+	}
+	points := ROC(scores, labels)
+	for i := 1; i < len(points); i++ {
+		if points[i].FPR < points[i-1].FPR || points[i].TPR < points[i-1].TPR {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+	// Ends at (1,1).
+	last := points[len(points)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve ends at %+v", last)
+	}
+	auc := AUC(points)
+	if auc < 0.8 || auc > 1 {
+		t.Fatalf("AUC = %v for well-separated normals", auc)
+	}
+}
+
+func TestROCEmptyAndMismatched(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Fatal("empty input produced points")
+	}
+	if ROC([]float64{1}, []bool{true, false}) != nil {
+		t.Fatal("mismatched input produced points")
+	}
+	if AUC(nil) != 0 {
+		t.Fatal("AUC of no curve not zero")
+	}
+}
+
+func TestOperatingPoint(t *testing.T) {
+	points := []ROCPoint{
+		{Threshold: 1.1, TPR: 0, FPR: 0},
+		{Threshold: 0.9, TPR: 0.6, FPR: 0.00},
+		{Threshold: 0.7, TPR: 0.8, FPR: 0.02},
+		{Threshold: 0.4, TPR: 0.95, FPR: 0.10},
+		{Threshold: 0.1, TPR: 1.0, FPR: 1.0},
+	}
+	p, ok := OperatingPoint(points, 0.05)
+	if !ok || p.TPR != 0.8 {
+		t.Fatalf("operating point %+v", p)
+	}
+	p, ok = OperatingPoint(points, 0.5)
+	if !ok || p.TPR != 0.95 {
+		t.Fatalf("operating point %+v", p)
+	}
+	if _, ok := OperatingPoint(nil, 0.1); ok {
+		t.Fatal("empty curve produced a point")
+	}
+}
+
+func TestScoreSamplesWithClassifier(t *testing.T) {
+	rng := simrand.New(2)
+	train := synthSamples(rng.Derive("train"), 300)
+	m, err := TrainLogReg(rng.Derive("sgd"), train, DefaultLogRegConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthSamples(rng.Derive("test"), 200)
+	scores, labels := ScoreSamples(m, test)
+	auc := AUC(ROC(scores, labels))
+	if auc < 0.99 {
+		t.Fatalf("logreg AUC %v on separable data", auc)
+	}
+}

@@ -1,0 +1,77 @@
+package detect
+
+import (
+	"sort"
+	"time"
+)
+
+// Velocity is a sliding-window event counter keyed by an arbitrary string
+// (path, user profile, booking reference, destination number). The Airline D
+// attack was caught only because a velocity threshold existed on the path
+// key; the case-study harness contrasts key choices.
+type Velocity struct {
+	window    time.Duration
+	threshold int
+	events    map[string][]time.Time
+}
+
+// NewVelocity returns a detector flagging keys that accumulate more than
+// threshold events within any trailing window.
+func NewVelocity(window time.Duration, threshold int) *Velocity {
+	if window <= 0 {
+		window = time.Hour
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Velocity{
+		window:    window,
+		threshold: threshold,
+		events:    make(map[string][]time.Time),
+	}
+}
+
+// Window returns the detector's trailing window.
+func (v *Velocity) Window() time.Duration { return v.window }
+
+// Threshold returns the flag threshold.
+func (v *Velocity) Threshold() int { return v.threshold }
+
+// Observe records an event for key at the given instant and reports whether
+// the key is now over threshold. Events are assumed to arrive in
+// non-decreasing time order per key (the simulator guarantees it); stale
+// entries are pruned on each observation, keeping memory proportional to
+// the live window.
+func (v *Velocity) Observe(key string, at time.Time) bool {
+	evs := v.events[key]
+	cutoff := at.Add(-v.window)
+	// Drop events outside the window.
+	start := 0
+	for start < len(evs) && !evs[start].After(cutoff) {
+		start++
+	}
+	evs = append(evs[start:], at)
+	v.events[key] = evs
+	return len(evs) > v.threshold
+}
+
+// Count returns the number of in-window events for key as of the last
+// observation on that key.
+func (v *Velocity) Count(key string) int { return len(v.events[key]) }
+
+// HotKeys returns every key currently over threshold, sorted.
+func (v *Velocity) HotKeys() []string {
+	var out []string
+	for k, evs := range v.events {
+		if len(evs) > v.threshold {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all state.
+func (v *Velocity) Reset() {
+	v.events = make(map[string][]time.Time)
+}

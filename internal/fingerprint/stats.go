@@ -1,0 +1,88 @@
+package fingerprint
+
+import (
+	"math"
+	"sort"
+)
+
+// PopulationStats summarises the distinguishability of a fingerprint
+// population — the quantity that decides whether fingerprinting can track
+// an individual device (large anonymity sets mean it cannot) and which
+// configurations a spoofing bot should imitate to blend in.
+type PopulationStats struct {
+	// Size is the population size.
+	Size int
+	// Distinct is the number of distinct full-vector hashes.
+	Distinct int
+	// UniqueShare is the fraction of the population whose exact
+	// fingerprint appears only once (fully trackable devices).
+	UniqueShare float64
+	// EntropyBits is the Shannon entropy of the hash distribution.
+	EntropyBits float64
+	// MedianAnonymitySet is the median size of the set of devices sharing
+	// a fingerprint.
+	MedianAnonymitySet int
+}
+
+// ConfigCount is one fingerprint equivalence class and its population.
+type ConfigCount struct {
+	Hash  uint64
+	Count int
+}
+
+// AnalyzePopulation computes distinguishability statistics over a set of
+// fingerprints.
+func AnalyzePopulation(prints []Fingerprint) PopulationStats {
+	var stats PopulationStats
+	stats.Size = len(prints)
+	if stats.Size == 0 {
+		return stats
+	}
+	counts := make(map[uint64]int, len(prints))
+	for _, f := range prints {
+		counts[f.Hash()]++
+	}
+	stats.Distinct = len(counts)
+
+	unique := 0
+	setSizes := make([]int, 0, len(prints))
+	n := float64(stats.Size)
+	for _, c := range counts {
+		if c == 1 {
+			unique++
+		}
+		p := float64(c) / n
+		stats.EntropyBits -= p * math.Log2(p)
+		for range c {
+			setSizes = append(setSizes, c)
+		}
+	}
+	stats.UniqueShare = float64(unique) / n
+	sort.Ints(setSizes)
+	stats.MedianAnonymitySet = setSizes[len(setSizes)/2]
+	return stats
+}
+
+// TopConfigs returns the k most common fingerprint classes in descending
+// count order (ties by hash) — the spoofing targets that hide a bot in the
+// largest crowds.
+func TopConfigs(prints []Fingerprint, k int) []ConfigCount {
+	counts := make(map[uint64]int, len(prints))
+	for _, f := range prints {
+		counts[f.Hash()]++
+	}
+	out := make([]ConfigCount, 0, len(counts))
+	for h, c := range counts {
+		out = append(out, ConfigCount{Hash: h, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"funabuse/internal/simrand"
+)
+
+func TestAnalyzePopulationUniform(t *testing.T) {
+	g := NewGenerator(simrand.New(1))
+	f := g.Organic()
+	prints := []Fingerprint{f, f, f, f}
+	stats := AnalyzePopulation(prints)
+	if stats.Size != 4 || stats.Distinct != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.UniqueShare != 0 {
+		t.Fatalf("UniqueShare %v for identical prints", stats.UniqueShare)
+	}
+	if stats.EntropyBits != 0 {
+		t.Fatalf("entropy %v for one class", stats.EntropyBits)
+	}
+	if stats.MedianAnonymitySet != 4 {
+		t.Fatalf("anonymity set %d", stats.MedianAnonymitySet)
+	}
+}
+
+func TestAnalyzePopulationAllDistinct(t *testing.T) {
+	prints := make([]Fingerprint, 8)
+	g := NewGenerator(simrand.New(2))
+	seen := map[uint64]bool{}
+	for i := range prints {
+		for {
+			prints[i] = g.Organic()
+			if !seen[prints[i].Hash()] {
+				seen[prints[i].Hash()] = true
+				break
+			}
+		}
+	}
+	stats := AnalyzePopulation(prints)
+	if stats.Distinct != 8 || stats.UniqueShare != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if math.Abs(stats.EntropyBits-3) > 1e-9 {
+		t.Fatalf("entropy %v, want 3 bits", stats.EntropyBits)
+	}
+	if stats.MedianAnonymitySet != 1 {
+		t.Fatalf("anonymity set %d", stats.MedianAnonymitySet)
+	}
+}
+
+func TestAnalyzePopulationEmpty(t *testing.T) {
+	stats := AnalyzePopulation(nil)
+	if stats.Size != 0 || stats.Distinct != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestOrganicPopulationIsHighEntropy(t *testing.T) {
+	// The organic generator spans a large configuration space: full-vector
+	// fingerprints are highly distinguishing (Laperdrix-style uniqueness),
+	// which is exactly what makes exact-hash block rules precise — and
+	// exactly why rotation defeats them.
+	g := NewGenerator(simrand.New(3))
+	prints := make([]Fingerprint, 5000)
+	for i := range prints {
+		prints[i] = g.Organic()
+	}
+	stats := AnalyzePopulation(prints)
+	if stats.UniqueShare < 0.5 {
+		t.Fatalf("UniqueShare %v, population unexpectedly clustered", stats.UniqueShare)
+	}
+	if stats.EntropyBits < 8 {
+		t.Fatalf("entropy %v bits, population too uniform", stats.EntropyBits)
+	}
+	if stats.Distinct < 4000 {
+		t.Fatalf("distinct %d of %d", stats.Distinct, stats.Size)
+	}
+}
+
+func TestTopConfigsOrdering(t *testing.T) {
+	g := NewGenerator(simrand.New(4))
+	a, b := g.Organic(), g.Organic()
+	prints := []Fingerprint{a, a, a, b, b, g.Organic()}
+	top := TopConfigs(prints, 2)
+	if len(top) != 2 {
+		t.Fatalf("top has %d entries", len(top))
+	}
+	if top[0].Hash != a.Hash() || top[0].Count != 3 {
+		t.Fatalf("top[0] %+v", top[0])
+	}
+	if top[1].Hash != b.Hash() || top[1].Count != 2 {
+		t.Fatalf("top[1] %+v", top[1])
+	}
+	// k larger than classes returns all three classes.
+	if got := len(TopConfigs(prints, 99)); got != 3 {
+		t.Fatalf("TopConfigs(99) len %d", got)
+	}
+}
+
+func TestSpoofingTargetsBigAnonymitySets(t *testing.T) {
+	// A spoofing rotation hides in the organic population: its prints must
+	// belong to configurations that actually occur there.
+	r := simrand.New(5)
+	gen := NewGenerator(r.Derive("pop"))
+	population := make([]Fingerprint, 3000)
+	hashes := map[uint64]bool{}
+	for i := range population {
+		population[i] = gen.Organic()
+		hashes[population[i].Hash()] = true
+	}
+	// Spoofed prints are fresh draws from the same generator model; their
+	// attribute combinations must validate like the population's.
+	ro := NewRotator(r.Derive("rot"), NewGenerator(r.Derive("botgen")), WithSpoofing())
+	for range 50 {
+		f := ro.Rotate()
+		if f.Webdriver {
+			t.Fatal("spoofed print carries automation artifact")
+		}
+	}
+}

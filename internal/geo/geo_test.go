@@ -1,0 +1,221 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"funabuse/internal/simrand"
+)
+
+func TestDefaultRegistryHasTable1Countries(t *testing.T) {
+	reg := Default()
+	for _, code := range []string{"UZ", "IR", "KG", "JO", "NG", "KH", "SG", "GB", "CN", "TH"} {
+		if _, ok := reg.Lookup(code); !ok {
+			t.Errorf("registry missing Table I country %s", code)
+		}
+	}
+}
+
+func TestDefaultRegistryLargeEnoughForCaseC(t *testing.T) {
+	if got := Default().Len(); got < 42 {
+		t.Fatalf("registry has %d countries, need >= 42 for case study C", got)
+	}
+}
+
+func TestNewRegistryRejectsDuplicates(t *testing.T) {
+	_, err := NewRegistry([]Country{{Code: "XX", Name: "A"}, {Code: "XX", Name: "B"}})
+	if err == nil {
+		t.Fatal("duplicate code accepted")
+	}
+}
+
+func TestNewRegistryRejectsEmptyCode(t *testing.T) {
+	if _, err := NewRegistry([]Country{{Name: "Nowhere"}}); err == nil {
+		t.Fatal("empty code accepted")
+	}
+}
+
+func TestHighCostBandContainsPumpTargets(t *testing.T) {
+	reg := Default()
+	high := reg.HighCostCodes()
+	inBand := make(map[string]bool, len(high))
+	for _, c := range high {
+		inBand[c] = true
+	}
+	// The six disproportionately-targeted Table I countries must be in the
+	// expensive band; the four ordinary ones must not.
+	for _, c := range []string{"UZ", "IR", "KG", "JO", "NG", "KH"} {
+		if !inBand[c] {
+			t.Errorf("%s not in high-cost band", c)
+		}
+	}
+	for _, c := range []string{"SG", "GB", "CN", "TH"} {
+		if inBand[c] {
+			t.Errorf("%s unexpectedly in high-cost band", c)
+		}
+	}
+}
+
+func TestHighCostCodesSortedByPrice(t *testing.T) {
+	reg := Default()
+	codes := reg.HighCostCodes()
+	for i := 1; i < len(codes); i++ {
+		a := reg.MustLookup(codes[i-1])
+		b := reg.MustLookup(codes[i])
+		if a.TerminationUSD < b.TerminationUSD {
+			t.Fatalf("high-cost codes not sorted: %s (%v) before %s (%v)",
+				codes[i-1], a.TerminationUSD, codes[i], b.TerminationUSD)
+		}
+	}
+	if codes[0] != "UZ" {
+		t.Fatalf("most expensive destination = %s, want UZ", codes[0])
+	}
+}
+
+func TestPremiumAlwaysAboveOrdinary(t *testing.T) {
+	for _, c := range Default().All() {
+		if c.PremiumUSD <= c.TerminationUSD {
+			t.Errorf("%s: premium %v <= ordinary %v", c.Code, c.PremiumUSD, c.TerminationUSD)
+		}
+		if c.RevenueShare < 0 || c.RevenueShare > 1 {
+			t.Errorf("%s: revenue share %v out of [0,1]", c.Code, c.RevenueShare)
+		}
+	}
+}
+
+func TestCodesSortedAndCopied(t *testing.T) {
+	reg := Default()
+	codes := reg.Codes()
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Fatalf("codes not strictly sorted at %d: %v", i, codes[i-1:i+1])
+		}
+	}
+	codes[0] = "zz"
+	if reg.Codes()[0] == "zz" {
+		t.Fatal("Codes() exposed internal slice")
+	}
+}
+
+func TestMustLookupPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown code did not panic")
+		}
+	}()
+	Default().MustLookup("ZZ")
+}
+
+func TestNumberPlanGeneratesValidNumbers(t *testing.T) {
+	reg := Default()
+	r := simrand.New(1)
+	for _, code := range []string{"UZ", "GB", "US", "SG"} {
+		plan := PlanFor(reg.MustLookup(code))
+		for range 100 {
+			n := plan.Random(r)
+			if err := ValidateMSISDN(n); err != nil {
+				t.Fatalf("%s: %v", code, err)
+			}
+			if plan.IsPremium(n) {
+				t.Fatalf("%s: ordinary number %s classified premium", code, n)
+			}
+			got, ok := reg.CountryOf(n)
+			if !ok {
+				t.Fatalf("%s: CountryOf(%s) failed", code, n)
+			}
+			if code == "US" || code == "CA" {
+				if got.DialPrefix != "1" {
+					t.Fatalf("NANP number resolved to %s", got.Code)
+				}
+			} else if got.Code != code {
+				t.Fatalf("CountryOf(%s) = %s, want %s", n, got.Code, code)
+			}
+		}
+	}
+}
+
+func TestPremiumNumbersClassified(t *testing.T) {
+	r := simrand.New(2)
+	plan := PlanFor(Default().MustLookup("UZ"))
+	for range 100 {
+		n := plan.RandomPremium(r)
+		if !plan.IsPremium(n) {
+			t.Fatalf("premium number %s not classified premium", n)
+		}
+		if err := ValidateMSISDN(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMSISDNLengthProperty(t *testing.T) {
+	reg := Default()
+	all := reg.All()
+	f := func(seed uint64, idx uint8, premium bool) bool {
+		c := all[int(idx)%len(all)]
+		plan := PlanFor(c)
+		r := simrand.New(seed)
+		var n MSISDN
+		if premium {
+			n = plan.RandomPremium(r)
+		} else {
+			n = plan.Random(r)
+		}
+		return len(n) == len(c.DialPrefix)+c.MobileDigits && ValidateMSISDN(n) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountryOfUnknownPrefix(t *testing.T) {
+	if _, ok := Default().CountryOf("0000000000"); ok {
+		t.Fatal("unknown prefix resolved")
+	}
+}
+
+func TestValidateMSISDN(t *testing.T) {
+	cases := []struct {
+		in MSISDN
+		ok bool
+	}{
+		{"998901234567", true},
+		{"12345", false},            // too short
+		{"1234567890123456", false}, // too long
+		{"99890a234567", false},     // non-digit
+	}
+	for _, tc := range cases {
+		err := ValidateMSISDN(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ValidateMSISDN(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+	}
+}
+
+func TestFormatE164(t *testing.T) {
+	if got := FormatE164("4479460000"); got != "+4479460000" {
+		t.Fatalf("FormatE164 = %q", got)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionCentralAsia.String() != "Central Asia" {
+		t.Fatalf("RegionCentralAsia.String() = %q", RegionCentralAsia.String())
+	}
+	if Region(99).String() != "Region(99)" {
+		t.Fatalf("unknown region String() = %q", Region(99).String())
+	}
+}
+
+func TestAllReturnsCopiesInOrder(t *testing.T) {
+	reg := Default()
+	all := reg.All()
+	if len(all) != reg.Len() {
+		t.Fatalf("All() length %d != Len() %d", len(all), reg.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Code >= all[i].Code {
+			t.Fatal("All() not in code order")
+		}
+	}
+}

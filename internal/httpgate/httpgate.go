@@ -1,0 +1,239 @@
+// Package httpgate adapts the fraud-prevention pipeline to real HTTP
+// traffic as net/http middleware. It is the deployment surface for the
+// defences the simulation study evaluates: a production service wraps its
+// sensitive handlers with a Gate and wires the same blocklists, rate
+// limiters and challenge hooks the defender manages.
+//
+// Client attribution follows the paper's operational reality:
+//
+//   - the network address comes from the connection (or a trusted
+//     forwarding header when configured);
+//   - the device fingerprint arrives as a hash in a header set by the
+//     site's client-side collector script;
+//   - the client key is the session cookie or authenticated profile.
+//
+// The gate enforces, in order: blocklists (fingerprint, IP, client key),
+// a challenge hook, then rate limits keyed per path, per client profile
+// and per caller-chosen resource (e.g. a booking reference). Denials are
+// returned as 403/429 with machine-readable reason headers so that
+// downstream analytics — and honest clients — can tell the layers apart.
+package httpgate
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"funabuse/internal/mitigate"
+	"funabuse/internal/simclock"
+)
+
+// Header and cookie names used for client attribution.
+const (
+	// FingerprintHeader carries the client-side collector's fingerprint
+	// hash (hexadecimal).
+	FingerprintHeader = "X-Device-Fingerprint"
+	// ClientCookie is the session cookie used as the client key.
+	ClientCookie = "sid"
+	// ReasonHeader names the defence layer that denied a request.
+	ReasonHeader = "X-Denied-By"
+)
+
+// Denial reasons reported in ReasonHeader.
+const (
+	ReasonBlocklist = "blocklist"
+	ReasonChallenge = "challenge"
+	ReasonPathLimit = "rate-limit-path"
+	ReasonProfile   = "rate-limit-profile"
+	ReasonResource  = "rate-limit-resource"
+)
+
+// ClientInfo is the gate's view of one request's origin.
+type ClientInfo struct {
+	IP          string
+	Fingerprint uint64
+	// HasFingerprint reports whether the collector header was present.
+	HasFingerprint bool
+	ClientKey      string
+}
+
+// Config assembles a Gate.
+type Config struct {
+	// Clock supplies time; defaults to the real clock.
+	Clock simclock.Clock
+	// Blocks is the shared deny list; nil disables the layer.
+	Blocks *mitigate.BlockList
+	// Challenge, when non-nil, is invoked for every admitted-so-far
+	// request; returning false denies with 403/challenge. Wire it to a
+	// CAPTCHA or proof-of-work verifier.
+	Challenge func(r *http.Request, info ClientInfo) bool
+	// PathLimit caps requests per path per window; zero disables.
+	PathLimit  int
+	PathWindow time.Duration
+	// ProfileLimit caps requests per client key per window; zero disables.
+	ProfileLimit  int
+	ProfileWindow time.Duration
+	// ResourceKey extracts a resource identity (booking reference, phone
+	// number, ...) from the request for per-resource limiting; nil or an
+	// empty return disables the layer for that request.
+	ResourceKey func(r *http.Request) string
+	// ResourceLimit caps requests per resource per window; zero disables.
+	ResourceLimit  int
+	ResourceWindow time.Duration
+	// TrustForwardedFor reads the client IP from X-Forwarded-For's first
+	// hop. Enable only behind a trusted proxy.
+	TrustForwardedFor bool
+	// RequireFingerprint denies requests missing the collector header —
+	// a soft bot gate: real browsers run the collector, trivial scripts
+	// do not.
+	RequireFingerprint bool
+	// OnDecision, when non-nil, observes every decision (for logging or
+	// the defender's journals).
+	OnDecision func(r *http.Request, info ClientInfo, deniedBy string)
+}
+
+// Gate is an http.Handler middleware enforcing the defence pipeline. It is
+// safe for concurrent use: the underlying limiters and block lists are
+// single-threaded simulation structures, so the gate serialises decisions
+// behind a mutex (decisions are microseconds; the lock is not a
+// bottleneck at web-request rates).
+type Gate struct {
+	cfg      Config
+	clock    simclock.Clock
+	mu       sync.Mutex
+	path     *mitigate.KeyedLimiter
+	profile  *mitigate.KeyedLimiter
+	resource *mitigate.KeyedLimiter
+
+	admitted uint64
+	denied   uint64
+}
+
+// New builds a Gate from cfg.
+func New(cfg Config) *Gate {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	g := &Gate{cfg: cfg, clock: clock}
+	if cfg.PathLimit > 0 {
+		g.path = mitigate.NewKeyedLimiter(cfg.PathWindow, cfg.PathLimit)
+	}
+	if cfg.ProfileLimit > 0 {
+		g.profile = mitigate.NewKeyedLimiter(cfg.ProfileWindow, cfg.ProfileLimit)
+	}
+	if cfg.ResourceLimit > 0 {
+		g.resource = mitigate.NewKeyedLimiter(cfg.ResourceWindow, cfg.ResourceLimit)
+	}
+	return g
+}
+
+// Admitted returns how many requests passed every layer.
+func (g *Gate) Admitted() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admitted
+}
+
+// Denied returns how many requests any layer rejected.
+func (g *Gate) Denied() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.denied
+}
+
+// Wrap returns next guarded by the gate.
+func (g *Gate) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := g.client(r)
+		g.mu.Lock()
+		reason, status := g.decide(r, info)
+		if reason != "" {
+			g.denied++
+		} else {
+			g.admitted++
+		}
+		g.mu.Unlock()
+		if g.cfg.OnDecision != nil {
+			g.cfg.OnDecision(r, info, reason)
+		}
+		if reason != "" {
+			w.Header().Set(ReasonHeader, reason)
+			http.Error(w, http.StatusText(status), status)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// decide runs the layers in order, returning the denial reason and HTTP
+// status, or ("", 0) to admit.
+func (g *Gate) decide(r *http.Request, info ClientInfo) (string, int) {
+	now := g.clock.Now()
+
+	if g.cfg.RequireFingerprint && !info.HasFingerprint {
+		return ReasonChallenge, http.StatusForbidden
+	}
+	if b := g.cfg.Blocks; b != nil {
+		if (info.HasFingerprint && b.Blocked("fp:"+strconv.FormatUint(info.Fingerprint, 16), now)) ||
+			b.Blocked("ip:"+info.IP, now) ||
+			(info.ClientKey != "" && b.Blocked("ck:"+info.ClientKey, now)) {
+			return ReasonBlocklist, http.StatusForbidden
+		}
+	}
+	if g.cfg.Challenge != nil && !g.cfg.Challenge(r, info) {
+		return ReasonChallenge, http.StatusForbidden
+	}
+	if g.profile != nil && info.ClientKey != "" && !g.profile.Allow("pf:"+info.ClientKey, now) {
+		return ReasonProfile, http.StatusTooManyRequests
+	}
+	if g.resource != nil && g.cfg.ResourceKey != nil {
+		if key := g.cfg.ResourceKey(r); key != "" && !g.resource.Allow("rs:"+key, now) {
+			return ReasonResource, http.StatusTooManyRequests
+		}
+	}
+	if g.path != nil && !g.path.Allow("path:"+r.URL.Path, now) {
+		return ReasonPathLimit, http.StatusTooManyRequests
+	}
+	return "", 0
+}
+
+// client extracts attribution from the request.
+func (g *Gate) client(r *http.Request) ClientInfo {
+	var info ClientInfo
+
+	info.IP = remoteIP(r, g.cfg.TrustForwardedFor)
+
+	if raw := r.Header.Get(FingerprintHeader); raw != "" {
+		if v, err := strconv.ParseUint(raw, 16, 64); err == nil {
+			info.Fingerprint = v
+			info.HasFingerprint = true
+		}
+	}
+	if c, err := r.Cookie(ClientCookie); err == nil && c.Value != "" {
+		info.ClientKey = c.Value
+	}
+	return info
+}
+
+// remoteIP resolves the client address, honouring X-Forwarded-For only
+// when trusted.
+func remoteIP(r *http.Request, trustXFF bool) string {
+	if trustXFF {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			first := xff
+			if i := strings.IndexByte(xff, ','); i >= 0 {
+				first = xff[:i]
+			}
+			return strings.TrimSpace(first)
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,377 @@
+package httpgate
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"funabuse/internal/mitigate"
+	"funabuse/internal/simclock"
+)
+
+var t0 = time.Date(2022, time.December, 1, 0, 0, 0, 0, time.UTC)
+
+type env struct {
+	clock  *simclock.Manual
+	blocks *mitigate.BlockList
+	gate   *Gate
+	server http.Handler
+	hits   int
+}
+
+func newEnv(t *testing.T, mut func(*Config)) *env {
+	t.Helper()
+	e := &env{
+		clock:  simclock.NewManual(t0),
+		blocks: mitigate.NewBlockList(0),
+	}
+	cfg := Config{Clock: e.clock, Blocks: e.blocks}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e.gate = New(cfg)
+	e.server = e.gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e.hits++
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "ok")
+	}))
+	return e
+}
+
+type reqOpt func(*http.Request)
+
+func withFingerprint(hash uint64) reqOpt {
+	return func(r *http.Request) {
+		r.Header.Set(FingerprintHeader, strconv.FormatUint(hash, 16))
+	}
+}
+
+func withCookie(sid string) reqOpt {
+	return func(r *http.Request) {
+		r.AddCookie(&http.Cookie{Name: ClientCookie, Value: sid})
+	}
+}
+
+func withRemote(addr string) reqOpt {
+	return func(r *http.Request) { r.RemoteAddr = addr }
+}
+
+func (e *env) do(t *testing.T, path string, opts ...reqOpt) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, path, nil)
+	r.RemoteAddr = "203.0.113.7:51000"
+	for _, opt := range opts {
+		opt(r)
+	}
+	w := httptest.NewRecorder()
+	e.server.ServeHTTP(w, r)
+	return w
+}
+
+func TestGateAdmitsCleanTraffic(t *testing.T) {
+	e := newEnv(t, nil)
+	w := e.do(t, "/booking/hold", withFingerprint(0xabc), withCookie("u1"))
+	if w.Code != http.StatusOK || w.Body.String() != "ok" {
+		t.Fatalf("status %d body %q", w.Code, w.Body.String())
+	}
+	if e.gate.Admitted() != 1 || e.gate.Denied() != 0 {
+		t.Fatalf("admitted %d denied %d", e.gate.Admitted(), e.gate.Denied())
+	}
+}
+
+func TestGateBlocksFingerprint(t *testing.T) {
+	e := newEnv(t, nil)
+	e.blocks.Block("fp:abc", t0)
+	w := e.do(t, "/x", withFingerprint(0xabc))
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("status %d", w.Code)
+	}
+	if got := w.Header().Get(ReasonHeader); got != ReasonBlocklist {
+		t.Fatalf("reason %q", got)
+	}
+	if e.hits != 0 {
+		t.Fatal("handler reached past a block")
+	}
+}
+
+func TestGateBlocksIP(t *testing.T) {
+	e := newEnv(t, nil)
+	e.blocks.Block("ip:203.0.113.7", t0)
+	if w := e.do(t, "/x"); w.Code != http.StatusForbidden {
+		t.Fatalf("status %d", w.Code)
+	}
+}
+
+func TestGateBlocksClientKey(t *testing.T) {
+	e := newEnv(t, nil)
+	e.blocks.Block("ck:evil", t0)
+	if w := e.do(t, "/x", withCookie("evil")); w.Code != http.StatusForbidden {
+		t.Fatalf("status %d", w.Code)
+	}
+	// Other sessions unaffected.
+	if w := e.do(t, "/x", withCookie("good")); w.Code != http.StatusOK {
+		t.Fatalf("clean session status %d", w.Code)
+	}
+}
+
+func TestGateBlockTTLExpires(t *testing.T) {
+	e := newEnv(t, nil)
+	e.blocks = mitigate.NewBlockList(time.Hour)
+	e.gate = New(Config{Clock: e.clock, Blocks: e.blocks})
+	e.server = e.gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	e.blocks.Block("ip:203.0.113.7", t0)
+	if w := e.do(t, "/x"); w.Code != http.StatusForbidden {
+		t.Fatal("live rule did not block")
+	}
+	e.clock.Advance(2 * time.Hour)
+	if w := e.do(t, "/x"); w.Code != http.StatusOK {
+		t.Fatal("expired rule still blocks")
+	}
+}
+
+func TestGatePathLimit(t *testing.T) {
+	e := newEnv(t, func(c *Config) {
+		c.PathLimit = 2
+		c.PathWindow = time.Hour
+	})
+	for i := range 2 {
+		if w := e.do(t, "/sms"); w.Code != http.StatusOK {
+			t.Fatalf("request %d status %d", i, w.Code)
+		}
+	}
+	w := e.do(t, "/sms")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d", w.Code)
+	}
+	if got := w.Header().Get(ReasonHeader); got != ReasonPathLimit {
+		t.Fatalf("reason %q", got)
+	}
+	// Other paths unaffected.
+	if w := e.do(t, "/other"); w.Code != http.StatusOK {
+		t.Fatal("other path limited")
+	}
+	// Window slides.
+	e.clock.Advance(61 * time.Minute)
+	if w := e.do(t, "/sms"); w.Code != http.StatusOK {
+		t.Fatal("limit did not slide")
+	}
+}
+
+func TestGateProfileLimit(t *testing.T) {
+	e := newEnv(t, func(c *Config) {
+		c.ProfileLimit = 1
+		c.ProfileWindow = time.Hour
+	})
+	if w := e.do(t, "/x", withCookie("a")); w.Code != http.StatusOK {
+		t.Fatal("first denied")
+	}
+	w := e.do(t, "/x", withCookie("a"))
+	if w.Code != http.StatusTooManyRequests || w.Header().Get(ReasonHeader) != ReasonProfile {
+		t.Fatalf("status %d reason %q", w.Code, w.Header().Get(ReasonHeader))
+	}
+	if w := e.do(t, "/x", withCookie("b")); w.Code != http.StatusOK {
+		t.Fatal("independent profile denied")
+	}
+	// Cookieless requests are not profile-limited (they fall to the other
+	// layers).
+	if w := e.do(t, "/x"); w.Code != http.StatusOK {
+		t.Fatal("cookieless request profile-limited")
+	}
+}
+
+func TestGateResourceLimit(t *testing.T) {
+	e := newEnv(t, func(c *Config) {
+		c.ResourceLimit = 2
+		c.ResourceWindow = 24 * time.Hour
+		c.ResourceKey = func(r *http.Request) string {
+			return r.URL.Query().Get("pnr")
+		}
+	})
+	for i := range 2 {
+		if w := e.do(t, "/bp/sms?pnr=ABC123"); w.Code != http.StatusOK {
+			t.Fatalf("send %d denied", i)
+		}
+	}
+	w := e.do(t, "/bp/sms?pnr=ABC123")
+	if w.Code != http.StatusTooManyRequests || w.Header().Get(ReasonHeader) != ReasonResource {
+		t.Fatalf("status %d reason %q", w.Code, w.Header().Get(ReasonHeader))
+	}
+	// A different booking reference is unaffected — the per-locator limit
+	// the Airline D application lacked.
+	if w := e.do(t, "/bp/sms?pnr=ZZZ999"); w.Code != http.StatusOK {
+		t.Fatal("independent resource denied")
+	}
+	// Requests without the resource skip the layer.
+	if w := e.do(t, "/bp/sms"); w.Code != http.StatusOK {
+		t.Fatal("request without resource denied")
+	}
+}
+
+func TestGateChallengeHook(t *testing.T) {
+	calls := 0
+	e := newEnv(t, func(c *Config) {
+		c.Challenge = func(r *http.Request, info ClientInfo) bool {
+			calls++
+			return info.ClientKey == "verified"
+		}
+	})
+	if w := e.do(t, "/x", withCookie("verified")); w.Code != http.StatusOK {
+		t.Fatal("verified client denied")
+	}
+	w := e.do(t, "/x", withCookie("bot"))
+	if w.Code != http.StatusForbidden || w.Header().Get(ReasonHeader) != ReasonChallenge {
+		t.Fatalf("status %d reason %q", w.Code, w.Header().Get(ReasonHeader))
+	}
+	if calls != 2 {
+		t.Fatalf("challenge called %d times", calls)
+	}
+}
+
+func TestGateRequireFingerprint(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.RequireFingerprint = true })
+	if w := e.do(t, "/x"); w.Code != http.StatusForbidden {
+		t.Fatal("collector-less request admitted")
+	}
+	if w := e.do(t, "/x", withFingerprint(1)); w.Code != http.StatusOK {
+		t.Fatal("collector request denied")
+	}
+	// A malformed header counts as absent.
+	r := httptest.NewRequest(http.MethodGet, "/x", nil)
+	r.RemoteAddr = "203.0.113.7:1"
+	r.Header.Set(FingerprintHeader, "not-hex!")
+	w := httptest.NewRecorder()
+	e.server.ServeHTTP(w, r)
+	if w.Code != http.StatusForbidden {
+		t.Fatal("malformed fingerprint admitted")
+	}
+}
+
+func TestGateForwardedFor(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.TrustForwardedFor = true })
+	e.blocks.Block("ip:198.51.100.9", t0)
+	r := httptest.NewRequest(http.MethodGet, "/x", nil)
+	r.RemoteAddr = "10.0.0.1:80" // the proxy
+	r.Header.Set("X-Forwarded-For", "198.51.100.9, 10.0.0.1")
+	w := httptest.NewRecorder()
+	e.server.ServeHTTP(w, r)
+	if w.Code != http.StatusForbidden {
+		t.Fatal("forwarded client IP not honoured")
+	}
+}
+
+func TestGateForwardedForIgnoredWhenUntrusted(t *testing.T) {
+	e := newEnv(t, nil)
+	e.blocks.Block("ip:198.51.100.9", t0)
+	r := httptest.NewRequest(http.MethodGet, "/x", nil)
+	r.RemoteAddr = "203.0.113.7:1"
+	r.Header.Set("X-Forwarded-For", "198.51.100.9") // spoofable, must be ignored
+	w := httptest.NewRecorder()
+	e.server.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatal("untrusted XFF honoured — header spoofing possible")
+	}
+}
+
+func TestGateDecisionCallback(t *testing.T) {
+	var decisions []string
+	e := newEnv(t, func(c *Config) {
+		c.OnDecision = func(r *http.Request, info ClientInfo, deniedBy string) {
+			decisions = append(decisions, deniedBy)
+		}
+	})
+	e.blocks.Block("ip:203.0.113.7", t0)
+	e.do(t, "/x")
+	e.blocks.Unblock("ip:203.0.113.7")
+	e.do(t, "/x")
+	if len(decisions) != 2 || decisions[0] != ReasonBlocklist || decisions[1] != "" {
+		t.Fatalf("decisions %v", decisions)
+	}
+}
+
+func TestGateLayerOrderBlocklistBeforeLimits(t *testing.T) {
+	// A blocked client must not consume rate-limit allowance.
+	e := newEnv(t, func(c *Config) {
+		c.PathLimit = 1
+		c.PathWindow = time.Hour
+	})
+	e.blocks.Block("ip:203.0.113.7", t0)
+	for range 5 {
+		e.do(t, "/x")
+	}
+	e.blocks.Unblock("ip:203.0.113.7")
+	if w := e.do(t, "/x"); w.Code != http.StatusOK {
+		t.Fatal("blocked requests consumed the path allowance")
+	}
+}
+
+func TestGateRealServerIntegration(t *testing.T) {
+	// Full loop through a live httptest server.
+	e := newEnv(t, func(c *Config) {
+		c.PathLimit = 3
+		c.PathWindow = time.Hour
+	})
+	srv := httptest.NewServer(e.server)
+	defer srv.Close()
+
+	client := srv.Client()
+	var last *http.Response
+	for range 5 {
+		resp, err := client.Get(srv.URL + "/hold")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		last = resp
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("final status %d, want 429", last.StatusCode)
+	}
+	if e.gate.Admitted() != 3 || e.gate.Denied() != 2 {
+		t.Fatalf("admitted %d denied %d", e.gate.Admitted(), e.gate.Denied())
+	}
+}
+
+func TestGateConcurrentRequests(t *testing.T) {
+	gate := New(Config{
+		Clock:      simclock.NewManual(t0),
+		Blocks:     mitigate.NewBlockList(0),
+		PathLimit:  500,
+		PathWindow: time.Hour,
+	})
+	srv := httptest.NewServer(gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	const workers = 8
+	const perWorker = 50
+	errs := make(chan error, workers)
+	for w := range workers {
+		go func(id int) {
+			client := srv.Client()
+			for range perWorker {
+				resp, err := client.Get(srv.URL + "/hold")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+			errs <- nil
+			_ = id
+		}(w)
+	}
+	for range workers {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total := gate.Admitted() + gate.Denied(); total != workers*perWorker {
+		t.Fatalf("decisions %d, want %d", total, workers*perWorker)
+	}
+}

@@ -1,0 +1,270 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harness reports with: counters, keyed counters, running moments,
+// duration histograms and fixed-width text tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counter is a monotone event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (negative deltas are ignored; counters are monotone).
+func (c *Counter) Add(delta int) {
+	if delta > 0 {
+		c.n += uint64(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// KeyedCounter counts events per string key.
+type KeyedCounter struct {
+	counts map[string]uint64
+}
+
+// NewKeyedCounter returns an empty keyed counter.
+func NewKeyedCounter() *KeyedCounter {
+	return &KeyedCounter{counts: make(map[string]uint64)}
+}
+
+// Inc adds one to key.
+func (k *KeyedCounter) Inc(key string) { k.counts[key]++ }
+
+// Get returns the count for key.
+func (k *KeyedCounter) Get(key string) uint64 { return k.counts[key] }
+
+// Keys returns all keys sorted.
+func (k *KeyedCounter) Keys() []string {
+	out := make([]string, 0, len(k.counts))
+	for key := range k.counts {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total sums all counts.
+func (k *KeyedCounter) Total() uint64 {
+	var total uint64
+	for _, v := range k.counts {
+		total += v
+	}
+	return total
+}
+
+// Snapshot returns a copy of the underlying map.
+func (k *KeyedCounter) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(k.counts))
+	for key, v := range k.counts {
+		out[key] = v
+	}
+	return out
+}
+
+// Running accumulates mean and variance online (Welford's algorithm).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds a sample.
+func (r *Running) Observe(v float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = v, v
+	} else {
+		if v < r.min {
+			r.min = v
+		}
+		if v > r.max {
+			r.max = v
+		}
+	}
+	d := v - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (v - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// DurationStats accumulates durations through a Running in seconds.
+type DurationStats struct {
+	run Running
+}
+
+// Observe adds one duration sample.
+func (d *DurationStats) Observe(v time.Duration) { d.run.Observe(v.Seconds()) }
+
+// N returns the sample count.
+func (d *DurationStats) N() int { return d.run.N() }
+
+// Mean returns the mean duration.
+func (d *DurationStats) Mean() time.Duration {
+	return time.Duration(d.run.Mean() * float64(time.Second))
+}
+
+// Std returns the standard deviation.
+func (d *DurationStats) Std() time.Duration {
+	return time.Duration(d.run.Std() * float64(time.Second))
+}
+
+// Table is a fixed-column text table for experiment reports.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	for i, h := range t.headers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatPct renders a percentage with thousands separators, matching the
+// paper's Table I style ("160,209%").
+func FormatPct(pct float64) string {
+	v := int64(math.Round(pct))
+	return FormatInt(v) + "%"
+}
+
+// FormatInt renders an integer with thousands separators.
+func FormatInt(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}

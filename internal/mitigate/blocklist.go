@@ -1,0 +1,64 @@
+package mitigate
+
+import (
+	"time"
+)
+
+// BlockList is a TTL'd deny list over opaque string keys (stringified
+// fingerprint hashes, IP addresses, client identifiers). Rules expire
+// because long-lived rules accumulate false positives once the attacker has
+// rotated away — the operational reality behind the paper's rule churn.
+type BlockList struct {
+	ttl     time.Duration
+	entries map[string]time.Time // key -> expiry instant
+	hits    int
+	added   int
+}
+
+// NewBlockList returns a list whose rules live for ttl; ttl <= 0 means
+// rules never expire.
+func NewBlockList(ttl time.Duration) *BlockList {
+	return &BlockList{ttl: ttl, entries: make(map[string]time.Time)}
+}
+
+// Block installs (or refreshes) a rule for key at the given instant.
+func (b *BlockList) Block(key string, now time.Time) {
+	var expiry time.Time
+	if b.ttl > 0 {
+		expiry = now.Add(b.ttl)
+	}
+	if _, exists := b.entries[key]; !exists {
+		b.added++
+	}
+	b.entries[key] = expiry
+}
+
+// Unblock removes a rule.
+func (b *BlockList) Unblock(key string) {
+	delete(b.entries, key)
+}
+
+// Blocked reports whether key is denied at the given instant, counting the
+// hit. Expired rules are pruned lazily.
+func (b *BlockList) Blocked(key string, now time.Time) bool {
+	expiry, ok := b.entries[key]
+	if !ok {
+		return false
+	}
+	if !expiry.IsZero() && expiry.Before(now) {
+		delete(b.entries, key)
+		return false
+	}
+	b.hits++
+	return true
+}
+
+// Len returns the number of live rules as of the last access.
+func (b *BlockList) Len() int { return len(b.entries) }
+
+// Hits returns how many requests the list denied.
+func (b *BlockList) Hits() int { return b.hits }
+
+// RulesAdded returns how many distinct rules were ever installed — the
+// operational cost of playing whack-a-mole with a rotating attacker.
+func (b *BlockList) RulesAdded() int { return b.added }

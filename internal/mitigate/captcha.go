@@ -1,0 +1,116 @@
+package mitigate
+
+import (
+	"funabuse/internal/simrand"
+)
+
+// CaptchaGate models the "increased layers of anti-bot detection"
+// mitigation. The paper is explicit that CAPTCHAs do not stop a funded
+// attacker — solving services exist — but they attach a unit cost and a
+// failure rate to every automated request, which is exactly what the
+// economics experiments need.
+type CaptchaGate struct {
+	rng *simrand.RNG
+	// humanPass is the probability a human solves the challenge.
+	humanPass float64
+	// solverPass is the probability a CAPTCHA-solving service succeeds.
+	solverPass float64
+	// solveCostUSD is the price per solving attempt on the grey market.
+	solveCostUSD float64
+
+	challenges  int
+	humanFails  int
+	botSpendUSD float64
+	botSolves   int
+	botFailures int
+	enabled     bool
+	friction    int // humans abandoned due to failed challenge
+}
+
+// CaptchaOption configures the gate.
+type CaptchaOption func(*CaptchaGate)
+
+// WithSolveCost sets the grey-market per-solve price.
+func WithSolveCost(usd float64) CaptchaOption {
+	return func(g *CaptchaGate) { g.solveCostUSD = usd }
+}
+
+// WithPassRates sets the human and solver success probabilities.
+func WithPassRates(human, solver float64) CaptchaOption {
+	return func(g *CaptchaGate) { g.humanPass, g.solverPass = human, solver }
+}
+
+// DefaultSolveCostUSD reflects public CAPTCHA-farm price lists (fractions
+// of a cent per solve).
+const DefaultSolveCostUSD = 0.002
+
+// NewCaptchaGate returns an enabled gate.
+func NewCaptchaGate(rng *simrand.RNG, opts ...CaptchaOption) *CaptchaGate {
+	g := &CaptchaGate{
+		rng:          rng,
+		humanPass:    0.97,
+		solverPass:   0.92,
+		solveCostUSD: DefaultSolveCostUSD,
+		enabled:      true,
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// SetEnabled toggles the gate.
+func (g *CaptchaGate) SetEnabled(v bool) { g.enabled = v }
+
+// Enabled reports whether the gate challenges traffic.
+func (g *CaptchaGate) Enabled() bool { return g.enabled }
+
+// ChallengeHuman runs the gate for a human client and reports pass/fail.
+func (g *CaptchaGate) ChallengeHuman() bool {
+	if !g.enabled {
+		return true
+	}
+	g.challenges++
+	if g.rng.Bool(g.humanPass) {
+		return true
+	}
+	g.humanFails++
+	g.friction++
+	return false
+}
+
+// ChallengeBot runs the gate for an automated client using a solving
+// service: the attacker pays the solve cost whether or not the solve
+// succeeds.
+func (g *CaptchaGate) ChallengeBot() bool {
+	if !g.enabled {
+		return true
+	}
+	g.challenges++
+	g.botSpendUSD += g.solveCostUSD
+	if g.rng.Bool(g.solverPass) {
+		g.botSolves++
+		return true
+	}
+	g.botFailures++
+	return false
+}
+
+// Challenges returns how many challenges were issued.
+func (g *CaptchaGate) Challenges() int { return g.challenges }
+
+// BotSpendUSD returns the attacker's cumulative solver spend.
+func (g *CaptchaGate) BotSpendUSD() float64 { return g.botSpendUSD }
+
+// BotSolveRate returns the solver's observed success rate.
+func (g *CaptchaGate) BotSolveRate() float64 {
+	total := g.botSolves + g.botFailures
+	if total == 0 {
+		return 0
+	}
+	return float64(g.botSolves) / float64(total)
+}
+
+// HumanFriction returns how many legitimate interactions the gate broke —
+// the usability cost Section V weighs against the security benefit.
+func (g *CaptchaGate) HumanFriction() int { return g.friction }

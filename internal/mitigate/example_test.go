@@ -1,0 +1,46 @@
+package mitigate_test
+
+import (
+	"fmt"
+	"time"
+
+	"funabuse/internal/mitigate"
+)
+
+// ExampleKeyedLimiter shows the per-resource rate limit whose absence
+// enabled the Airline D incident: three boarding-pass sends per booking
+// reference per day.
+func ExampleKeyedLimiter() {
+	limiter := mitigate.NewKeyedLimiter(24*time.Hour, 3)
+	now := time.Date(2022, time.December, 1, 9, 0, 0, 0, time.UTC)
+
+	for i := 1; i <= 5; i++ {
+		ok := limiter.Allow("loc:ABC123", now.Add(time.Duration(i)*time.Minute))
+		fmt.Printf("send %d for ABC123: allowed=%v\n", i, ok)
+	}
+	// A different booking reference is unaffected.
+	fmt.Println("send 1 for XYZ789: allowed =", limiter.Allow("loc:XYZ789", now))
+
+	// Output:
+	// send 1 for ABC123: allowed=true
+	// send 2 for ABC123: allowed=true
+	// send 3 for ABC123: allowed=true
+	// send 4 for ABC123: allowed=false
+	// send 5 for ABC123: allowed=false
+	// send 1 for XYZ789: allowed = true
+}
+
+// ExampleBlockList shows TTL'd block rules: a fingerprint rule ages out
+// after the attacker has rotated away, avoiding stale-rule false positives.
+func ExampleBlockList() {
+	blocks := mitigate.NewBlockList(6 * time.Hour)
+	now := time.Date(2022, time.May, 9, 12, 0, 0, 0, time.UTC)
+
+	blocks.Block("fp:a1b2c3", now)
+	fmt.Println("one hour later:", blocks.Blocked("fp:a1b2c3", now.Add(time.Hour)))
+	fmt.Println("one day later: ", blocks.Blocked("fp:a1b2c3", now.Add(24*time.Hour)))
+
+	// Output:
+	// one hour later: true
+	// one day later:  false
+}

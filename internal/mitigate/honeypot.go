@@ -1,0 +1,125 @@
+package mitigate
+
+import (
+	"sort"
+
+	"funabuse/internal/booking"
+)
+
+// Honeypot implements the decoy-environment mitigation: clients judged
+// abusive are transparently routed to a shadow reservation system that
+// mirrors the real flights but whose holds never touch real inventory. The
+// attacker keeps "succeeding", so it has no signal to rotate identities,
+// while real stock stays sellable — the economics Section V describes.
+type Honeypot struct {
+	real  *booking.System
+	decoy *booking.System
+
+	redirected map[string]bool
+	decoyHolds int
+}
+
+// NewHoneypot wraps the real system with a decoy. The decoy must be
+// pre-seeded with mirror flights (MirrorFlights does this).
+func NewHoneypot(real, decoy *booking.System) *Honeypot {
+	return &Honeypot{
+		real:       real,
+		decoy:      decoy,
+		redirected: make(map[string]bool),
+	}
+}
+
+// MirrorFlights copies the real system's flights into the decoy at full
+// capacity. Call after registering flights on the real system.
+func MirrorFlights(real, decoy *booking.System, flights []booking.Flight) {
+	for _, f := range flights {
+		decoy.AddFlight(f)
+	}
+}
+
+// Redirect marks a client key for decoy routing.
+func (h *Honeypot) Redirect(clientKey string) {
+	h.redirected[clientKey] = true
+}
+
+// Unredirect removes the routing mark.
+func (h *Honeypot) Unredirect(clientKey string) {
+	delete(h.redirected, clientKey)
+}
+
+// IsRedirected reports whether a client key routes to the decoy.
+func (h *Honeypot) IsRedirected(clientKey string) bool {
+	return h.redirected[clientKey]
+}
+
+// RedirectedKeys returns the marked client keys, sorted.
+func (h *Honeypot) RedirectedKeys() []string {
+	out := make([]string, 0, len(h.redirected))
+	for k := range h.redirected {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RequestHold routes the request to the decoy when the client key is
+// marked, otherwise to the real system. The response is indistinguishable
+// to the caller in both cases.
+func (h *Honeypot) RequestHold(clientKey string, req booking.HoldRequest) (*booking.Hold, error) {
+	if h.redirected[clientKey] {
+		hold, err := h.decoy.RequestHold(req)
+		if err == nil {
+			h.decoyHolds++
+		}
+		return hold, err
+	}
+	return h.real.RequestHold(req)
+}
+
+// DecoyHolds returns how many holds were absorbed by the decoy — inventory
+// the attack believed it blocked but which stayed sellable.
+func (h *Honeypot) DecoyHolds() int { return h.decoyHolds }
+
+// Real returns the protected system.
+func (h *Honeypot) Real() *booking.System { return h.real }
+
+// Decoy returns the shadow system.
+func (h *Honeypot) Decoy() *booking.System { return h.decoy }
+
+// LoyaltyGate restricts a high-risk feature to trusted users (verified
+// loyalty-programme members), the "feature access restriction" of
+// Section V.
+type LoyaltyGate struct {
+	enabled bool
+	members map[string]bool
+	denied  int
+}
+
+// NewLoyaltyGate returns a gate. When disabled it admits everyone.
+func NewLoyaltyGate(enabled bool) *LoyaltyGate {
+	return &LoyaltyGate{enabled: enabled, members: make(map[string]bool)}
+}
+
+// SetEnabled toggles enforcement.
+func (g *LoyaltyGate) SetEnabled(v bool) { g.enabled = v }
+
+// Enroll marks a client key as a trusted member.
+func (g *LoyaltyGate) Enroll(clientKey string) { g.members[clientKey] = true }
+
+// Allow reports whether clientKey may use the gated feature.
+func (g *LoyaltyGate) Allow(clientKey string) bool {
+	if !g.enabled {
+		return true
+	}
+	if g.members[clientKey] {
+		return true
+	}
+	g.denied++
+	return false
+}
+
+// Denied returns how many requests the gate rejected.
+func (g *LoyaltyGate) Denied() int { return g.denied }
+
+// Members returns the number of enrolled members.
+func (g *LoyaltyGate) Members() int { return len(g.members) }

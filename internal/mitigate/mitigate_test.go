@@ -1,0 +1,315 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"funabuse/internal/booking"
+	"funabuse/internal/names"
+	"funabuse/internal/simclock"
+	"funabuse/internal/simrand"
+)
+
+var t0 = time.Date(2022, time.December, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTokenBucketBurstAndRefill(t *testing.T) {
+	b := NewTokenBucket(3, 1) // 3 burst, 1/s refill
+	for i := range 3 {
+		if !b.Allow(t0) {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if b.Allow(t0) {
+		t.Fatal("4th request in burst allowed")
+	}
+	if !b.Allow(t0.Add(time.Second)) {
+		t.Fatal("request after refill denied")
+	}
+	if b.Allow(t0.Add(time.Second)) {
+		t.Fatal("second request after single refill allowed")
+	}
+}
+
+func TestTokenBucketCapsAtCapacity(t *testing.T) {
+	b := NewTokenBucket(2, 10)
+	b.Allow(t0)
+	// Long idle: tokens must cap at capacity, not accumulate unboundedly.
+	if !b.Allow(t0.Add(time.Hour)) {
+		t.Fatal("denied after long idle")
+	}
+	if b.Tokens() > 2 {
+		t.Fatalf("tokens %v exceed capacity", b.Tokens())
+	}
+}
+
+func TestTokenBucketClampsBadArgs(t *testing.T) {
+	b := NewTokenBucket(-1, -1)
+	if !b.Allow(t0) {
+		t.Fatal("clamped bucket denied first request")
+	}
+}
+
+func TestKeyedLimiterEnforcesPerKey(t *testing.T) {
+	l := NewKeyedLimiter(time.Hour, 2)
+	if !l.Allow("a", t0) || !l.Allow("a", t0.Add(time.Minute)) {
+		t.Fatal("within-limit attempts denied")
+	}
+	if l.Allow("a", t0.Add(2*time.Minute)) {
+		t.Fatal("over-limit attempt allowed")
+	}
+	if !l.Allow("b", t0.Add(2*time.Minute)) {
+		t.Fatal("independent key denied")
+	}
+	if l.Denials("a") != 1 || l.TotalDenials() != 1 {
+		t.Fatalf("denials %d/%d", l.Denials("a"), l.TotalDenials())
+	}
+	keys := l.DeniedKeys()
+	if len(keys) != 1 || keys[0] != "a" {
+		t.Fatalf("DeniedKeys %v", keys)
+	}
+}
+
+func TestKeyedLimiterWindowSlides(t *testing.T) {
+	l := NewKeyedLimiter(time.Hour, 1)
+	if !l.Allow("k", t0) {
+		t.Fatal("first denied")
+	}
+	if l.Allow("k", t0.Add(30*time.Minute)) {
+		t.Fatal("second within window allowed")
+	}
+	if !l.Allow("k", t0.Add(61*time.Minute)) {
+		t.Fatal("attempt after window denied")
+	}
+}
+
+func TestKeyedLimiterDeniedDoesNotConsume(t *testing.T) {
+	l := NewKeyedLimiter(time.Hour, 1)
+	l.Allow("k", t0)
+	for i := range 10 {
+		l.Allow("k", t0.Add(time.Duration(i)*time.Minute))
+	}
+	// The single admitted event ages out after an hour regardless of the
+	// denied attempts in between.
+	if !l.Allow("k", t0.Add(61*time.Minute)) {
+		t.Fatal("denied attempts extended the window")
+	}
+}
+
+func TestKeyedLimiterNeverExceedsLimitProperty(t *testing.T) {
+	f := func(limit uint8, steps []uint8) bool {
+		lim := int(limit%5) + 1
+		l := NewKeyedLimiter(time.Hour, lim)
+		now := t0
+		admitted := []time.Time{}
+		for _, s := range steps {
+			now = now.Add(time.Duration(s) * time.Minute)
+			if l.Allow("k", now) {
+				admitted = append(admitted, now)
+				// Count admitted events in the trailing hour.
+				count := 0
+				for _, ts := range admitted {
+					if ts.After(now.Add(-time.Hour)) || ts.Equal(now) {
+						count++
+					}
+				}
+				if count > lim {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockListTTL(t *testing.T) {
+	b := NewBlockList(time.Hour)
+	b.Block("fp:abc", t0)
+	if !b.Blocked("fp:abc", t0.Add(30*time.Minute)) {
+		t.Fatal("live rule did not block")
+	}
+	if b.Blocked("fp:abc", t0.Add(2*time.Hour)) {
+		t.Fatal("expired rule still blocks")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("expired rule not pruned, Len=%d", b.Len())
+	}
+	if b.Hits() != 1 {
+		t.Fatalf("Hits = %d", b.Hits())
+	}
+}
+
+func TestBlockListNoTTL(t *testing.T) {
+	b := NewBlockList(0)
+	b.Block("ip:1.2.3.4", t0)
+	if !b.Blocked("ip:1.2.3.4", t0.AddDate(1, 0, 0)) {
+		t.Fatal("permanent rule expired")
+	}
+}
+
+func TestBlockListRulesAddedCountsDistinct(t *testing.T) {
+	b := NewBlockList(time.Hour)
+	b.Block("a", t0)
+	b.Block("a", t0.Add(time.Minute)) // refresh, not new
+	b.Block("b", t0)
+	if b.RulesAdded() != 2 {
+		t.Fatalf("RulesAdded = %d", b.RulesAdded())
+	}
+	b.Unblock("a")
+	if b.Blocked("a", t0) {
+		t.Fatal("unblocked key still blocked")
+	}
+}
+
+func TestCaptchaGateRates(t *testing.T) {
+	g := NewCaptchaGate(simrand.New(1), WithPassRates(0.95, 0.90), WithSolveCost(0.01))
+	humanPass, botPass := 0, 0
+	n := 20000
+	for range n {
+		if g.ChallengeHuman() {
+			humanPass++
+		}
+		if g.ChallengeBot() {
+			botPass++
+		}
+	}
+	if rate := float64(humanPass) / float64(n); math.Abs(rate-0.95) > 0.01 {
+		t.Fatalf("human pass rate %v", rate)
+	}
+	if rate := float64(botPass) / float64(n); math.Abs(rate-0.90) > 0.01 {
+		t.Fatalf("bot pass rate %v", rate)
+	}
+	if math.Abs(g.BotSpendUSD()-float64(n)*0.01) > 1e-6 {
+		t.Fatalf("bot spend %v", g.BotSpendUSD())
+	}
+	if g.Challenges() != 2*n {
+		t.Fatalf("challenges %d", g.Challenges())
+	}
+	if math.Abs(g.BotSolveRate()-0.90) > 0.01 {
+		t.Fatalf("solve rate %v", g.BotSolveRate())
+	}
+	if g.HumanFriction() == 0 {
+		t.Fatal("no human friction recorded at 95% pass rate")
+	}
+}
+
+func TestCaptchaGateDisabled(t *testing.T) {
+	g := NewCaptchaGate(simrand.New(2))
+	g.SetEnabled(false)
+	if g.Enabled() {
+		t.Fatal("Enabled() after disable")
+	}
+	for range 100 {
+		if !g.ChallengeHuman() || !g.ChallengeBot() {
+			t.Fatal("disabled gate challenged")
+		}
+	}
+	if g.Challenges() != 0 || g.BotSpendUSD() != 0 {
+		t.Fatal("disabled gate accumulated state")
+	}
+}
+
+func honeypotFixture(t *testing.T) (*Honeypot, *simclock.Manual) {
+	t.Helper()
+	clock := simclock.NewManual(t0)
+	real := booking.NewSystem(clock, simrand.New(1), booking.DefaultConfig())
+	decoy := booking.NewSystem(clock, simrand.New(2), booking.DefaultConfig())
+	flights := []booking.Flight{{
+		ID: "F1", Capacity: 100, Departure: t0.Add(7 * 24 * time.Hour),
+	}}
+	for _, f := range flights {
+		real.AddFlight(f)
+	}
+	MirrorFlights(real, decoy, flights)
+	return NewHoneypot(real, decoy), clock
+}
+
+func holdReq(n int) booking.HoldRequest {
+	g := names.NewGenerator(simrand.New(3))
+	ps := make([]names.Identity, n)
+	for i := range ps {
+		ps[i] = g.Realistic()
+	}
+	return booking.HoldRequest{Flight: "F1", Passengers: ps, ActorID: "x"}
+}
+
+func TestHoneypotRoutesRedirectedToDecoy(t *testing.T) {
+	h, _ := honeypotFixture(t)
+	h.Redirect("attacker")
+	if !h.IsRedirected("attacker") {
+		t.Fatal("IsRedirected false")
+	}
+	hold, err := h.RequestHold("attacker", holdReq(6))
+	if err != nil {
+		t.Fatalf("decoy hold failed: %v", err)
+	}
+	if hold == nil || hold.NiP != 6 {
+		t.Fatalf("decoy hold %+v", hold)
+	}
+	// Real inventory untouched.
+	av, err := h.Real().AvailabilityOf("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.Held != 0 || av.Available != 100 {
+		t.Fatalf("real availability %+v", av)
+	}
+	dv, _ := h.Decoy().AvailabilityOf("F1")
+	if dv.Held != 6 {
+		t.Fatalf("decoy availability %+v", dv)
+	}
+	if h.DecoyHolds() != 1 {
+		t.Fatalf("DecoyHolds = %d", h.DecoyHolds())
+	}
+}
+
+func TestHoneypotRoutesOthersToReal(t *testing.T) {
+	h, _ := honeypotFixture(t)
+	if _, err := h.RequestHold("legit", holdReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	av, _ := h.Real().AvailabilityOf("F1")
+	if av.Held != 2 {
+		t.Fatalf("real availability %+v", av)
+	}
+	if h.DecoyHolds() != 0 {
+		t.Fatal("legit hold counted as decoy")
+	}
+}
+
+func TestHoneypotUnredirect(t *testing.T) {
+	h, _ := honeypotFixture(t)
+	h.Redirect("k")
+	h.Unredirect("k")
+	if h.IsRedirected("k") {
+		t.Fatal("still redirected after Unredirect")
+	}
+	if got := len(h.RedirectedKeys()); got != 0 {
+		t.Fatalf("RedirectedKeys len %d", got)
+	}
+}
+
+func TestLoyaltyGate(t *testing.T) {
+	g := NewLoyaltyGate(true)
+	g.Enroll("member-1")
+	if !g.Allow("member-1") {
+		t.Fatal("member denied")
+	}
+	if g.Allow("stranger") {
+		t.Fatal("stranger allowed")
+	}
+	if g.Denied() != 1 {
+		t.Fatalf("Denied = %d", g.Denied())
+	}
+	g.SetEnabled(false)
+	if !g.Allow("stranger") {
+		t.Fatal("disabled gate denied")
+	}
+	if g.Members() != 1 {
+		t.Fatalf("Members = %d", g.Members())
+	}
+}

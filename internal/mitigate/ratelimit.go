@@ -1,0 +1,133 @@
+// Package mitigate implements the countermeasures the paper's Section V
+// recommends: ad-hoc rate limiting (token bucket and keyed sliding windows,
+// with the key choice — path vs user profile vs booking reference — as a
+// first-class ablation), feature access restriction to trusted users, extra
+// anti-bot friction (a CAPTCHA gate with a solver-cost model), TTL'd block
+// rules, and honeypot decoy inventory that undermines attacker economics.
+package mitigate
+
+import (
+	"sort"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket limiter over virtual time.
+type TokenBucket struct {
+	capacity   float64
+	refillPerS float64
+	tokens     float64
+	last       time.Time
+	initalised bool
+}
+
+// NewTokenBucket returns a bucket holding at most capacity tokens, refilled
+// at refillPerSecond. Non-positive arguments are clamped to 1.
+func NewTokenBucket(capacity, refillPerSecond float64) *TokenBucket {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if refillPerSecond <= 0 {
+		refillPerSecond = 1
+	}
+	return &TokenBucket{capacity: capacity, refillPerS: refillPerSecond}
+}
+
+// Allow consumes one token at the given instant if available.
+func (b *TokenBucket) Allow(now time.Time) bool {
+	if !b.initalised {
+		b.tokens = b.capacity
+		b.last = now
+		b.initalised = true
+	}
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.refillPerS
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Tokens returns the current token count (after the last Allow).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }
+
+// KeyedLimiter applies an independent sliding-window limit per string key.
+// It is the building block for all the "ad-hoc rate limiting" variants: the
+// key function decides whether the limit is per path, per user profile, per
+// booking reference or per destination number.
+type KeyedLimiter struct {
+	window  time.Duration
+	limit   int
+	events  map[string][]time.Time
+	denials map[string]int
+}
+
+// NewKeyedLimiter allows at most limit events per key within any trailing
+// window.
+func NewKeyedLimiter(window time.Duration, limit int) *KeyedLimiter {
+	if window <= 0 {
+		window = time.Hour
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return &KeyedLimiter{
+		window:  window,
+		limit:   limit,
+		events:  make(map[string][]time.Time),
+		denials: make(map[string]int),
+	}
+}
+
+// Limit returns the per-window allowance.
+func (l *KeyedLimiter) Limit() int { return l.limit }
+
+// Window returns the trailing window.
+func (l *KeyedLimiter) Window() time.Duration { return l.window }
+
+// Allow records an attempt for key at now and reports whether it is within
+// the limit. Denied attempts are counted but not recorded as events (a
+// rejected request does not consume allowance).
+func (l *KeyedLimiter) Allow(key string, now time.Time) bool {
+	evs := l.events[key]
+	cutoff := now.Add(-l.window)
+	start := 0
+	for start < len(evs) && !evs[start].After(cutoff) {
+		start++
+	}
+	evs = evs[start:]
+	if len(evs) >= l.limit {
+		l.events[key] = evs
+		l.denials[key]++
+		return false
+	}
+	l.events[key] = append(evs, now)
+	return true
+}
+
+// Denials returns how many attempts were rejected for key.
+func (l *KeyedLimiter) Denials(key string) int { return l.denials[key] }
+
+// TotalDenials sums rejections across keys.
+func (l *KeyedLimiter) TotalDenials() int {
+	total := 0
+	for _, n := range l.denials {
+		total += n
+	}
+	return total
+}
+
+// DeniedKeys returns all keys with at least one denial, sorted.
+func (l *KeyedLimiter) DeniedKeys() []string {
+	out := make([]string, 0, len(l.denials))
+	for k := range l.denials {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

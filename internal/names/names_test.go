@@ -1,0 +1,263 @@
+package names
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"funabuse/internal/simrand"
+)
+
+func TestRealisticIdentityShape(t *testing.T) {
+	g := NewGenerator(simrand.New(1))
+	for range 100 {
+		id := g.Realistic()
+		if id.First == "" || id.Last == "" {
+			t.Fatal("empty name component")
+		}
+		if !strings.Contains(id.Email, "@") {
+			t.Fatalf("bad email %q", id.Email)
+		}
+		if id.BirthDate.Year() < 1950 || id.BirthDate.Year() > 2005 {
+			t.Fatalf("implausible birthdate %v", id.BirthDate)
+		}
+	}
+}
+
+func TestGarbageIdentityIsLowercaseMash(t *testing.T) {
+	g := NewGenerator(simrand.New(2))
+	id := g.Garbage()
+	if id.First != strings.ToLower(id.First) {
+		t.Fatalf("garbage first name not lowercase: %q", id.First)
+	}
+	if len(id.First) < 6 || len(id.Last) < 6 {
+		t.Fatalf("garbage names too short: %q %q", id.First, id.Last)
+	}
+	if !strings.HasPrefix(id.Email, id.Last+"@") {
+		t.Fatalf("garbage email %q does not follow surname@ pattern", id.Email)
+	}
+}
+
+func TestFullNameCanonical(t *testing.T) {
+	id := Identity{First: "Elisa", Last: "Chiapponi"}
+	if got := id.FullName(); got != "ELISA CHIAPPONI" {
+		t.Fatalf("FullName() = %q", got)
+	}
+	if id.Key() != id.FullName() {
+		t.Fatal("Key() must equal FullName()")
+	}
+}
+
+func TestPoolPermutedDrawsWithoutReplacement(t *testing.T) {
+	p := NewPool(simrand.New(3), 8)
+	ids := p.Permuted(5)
+	if len(ids) != 5 {
+		t.Fatalf("Permuted(5) returned %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id.Key()] {
+			t.Fatalf("duplicate identity in one permuted draw: %s", id.Key())
+		}
+		seen[id.Key()] = true
+	}
+}
+
+func TestPoolPermutedCapsAtPoolSize(t *testing.T) {
+	p := NewPool(simrand.New(4), 3)
+	if got := len(p.Permuted(10)); got != 3 {
+		t.Fatalf("Permuted(10) on pool of 3 returned %d", got)
+	}
+}
+
+func TestPoolReusesSameNamesAcrossDraws(t *testing.T) {
+	p := NewPool(simrand.New(5), 6)
+	all := map[string]bool{}
+	for range 20 {
+		for _, id := range p.Permuted(6) {
+			all[id.Key()] = true
+		}
+	}
+	if len(all) != 6 {
+		t.Fatalf("pool leaked %d distinct names, want exactly 6", len(all))
+	}
+}
+
+func TestRotatingBirthdateFixedNameMovingDate(t *testing.T) {
+	p := NewPool(simrand.New(6), 4)
+	first := p.RotatingBirthdate()
+	var prev time.Time = first.BirthDate
+	for range 10 {
+		id := p.RotatingBirthdate()
+		if id.Key() != first.Key() {
+			t.Fatalf("lead name changed: %s vs %s", id.Key(), first.Key())
+		}
+		if !id.BirthDate.After(prev) {
+			t.Fatalf("birthdate did not advance: %v then %v", prev, id.BirthDate)
+		}
+		if id.BirthDate.Sub(prev) != 24*time.Hour {
+			t.Fatalf("birthdate step = %v, want 24h", id.BirthDate.Sub(prev))
+		}
+		prev = id.BirthDate
+	}
+}
+
+func TestOverlappingPartyStructure(t *testing.T) {
+	p := NewPool(simrand.New(7), 5)
+	lead := p.base[0].Key()
+	party := p.OverlappingParty(4)
+	if len(party) != 4 {
+		t.Fatalf("party size %d", len(party))
+	}
+	if party[0].Key() != lead {
+		t.Fatal("first passenger is not the rotating lead")
+	}
+	poolKeys := map[string]bool{}
+	for _, id := range p.base {
+		poolKeys[id.Key()] = true
+	}
+	for _, id := range party {
+		if !poolKeys[id.Key()] {
+			t.Fatalf("party member %s not from pool", id.Key())
+		}
+	}
+}
+
+func TestOverlappingPartyMinimumOne(t *testing.T) {
+	p := NewPool(simrand.New(8), 3)
+	if got := len(p.OverlappingParty(0)); got != 1 {
+		t.Fatalf("OverlappingParty(0) size %d, want 1", got)
+	}
+}
+
+func TestMisspellIsSmallEdit(t *testing.T) {
+	r := simrand.New(9)
+	id := Identity{First: "ELISABETH", Last: "CHIAPPONI"}
+	changed := 0
+	for range 200 {
+		m := Misspell(r, id)
+		dFirst := DamerauLevenshtein(id.First, m.First)
+		dLast := DamerauLevenshtein(id.Last, m.Last)
+		if dFirst+dLast == 0 {
+			continue
+		}
+		changed++
+		if dFirst+dLast > 1 {
+			t.Fatalf("misspell edit distance %d (%q %q)", dFirst+dLast, m.First, m.Last)
+		}
+		if dFirst > 0 && dLast > 0 {
+			t.Fatal("misspell touched both name parts")
+		}
+	}
+	if changed < 150 {
+		t.Fatalf("misspell was a no-op %d/200 times", 200-changed)
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"SMITH", "SMITH", 0},
+		{"SMITH", "SMYTH", 1},
+		{"SMITH", "SMITTH", 1},
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Fatalf("symmetry: %v", err)
+	}
+	identity := func(a string) bool {
+		if len(a) > 60 {
+			a = a[:60]
+		}
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Fatalf("identity: %v", err)
+	}
+	bounded := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := Levenshtein(a, b)
+		hi := max(len(a), len(b))
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+}
+
+func TestDamerauLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"AB", "BA", 1},  // transposition is one edit
+		{"CA", "ABC", 3}, // OSA (no substring re-edits)
+		{"SMITH", "SMTIH", 1},
+		{"SMITH", "SMITH", 0},
+		{"kitten", "sitting", 3},
+	}
+	for _, tc := range cases {
+		if got := DamerauLevenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("DamerauLevenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDamerauNeverExceedsLevenshtein(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return DamerauLevenshtein(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(simrand.New(42))
+	b := NewGenerator(simrand.New(42))
+	for range 50 {
+		if a.Realistic() != b.Realistic() {
+			t.Fatal("generators with equal seeds diverged")
+		}
+	}
+}

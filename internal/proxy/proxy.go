@@ -1,0 +1,272 @@
+// Package proxy models residential proxy services, the IP-diversity
+// substrate behind both attacks in the paper: exits are real-looking
+// residential addresses, selectable by country (the Airline D attackers
+// matched exit country to the targeted mobile-number country), and rotate
+// per request, per session, or reactively after a block.
+package proxy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"funabuse/internal/simrand"
+)
+
+// IP is a dotted-quad IPv4 address in string form.
+type IP string
+
+// RotationPolicy selects when a client moves to a new exit node.
+type RotationPolicy int
+
+// Rotation policies.
+const (
+	// RotatePerRequest draws a fresh exit for every request — maximal
+	// diversity, the residential-proxy default ("rotating" plans).
+	RotatePerRequest RotationPolicy = iota + 1
+	// RotatePerSession keeps one exit per logical session ("sticky" plans).
+	RotatePerSession
+	// RotateOnBlock keeps the exit until the defender blocks it.
+	RotateOnBlock
+)
+
+// String names the policy.
+func (p RotationPolicy) String() string {
+	switch p {
+	case RotatePerRequest:
+		return "per-request"
+	case RotatePerSession:
+		return "per-session"
+	case RotateOnBlock:
+		return "on-block"
+	default:
+		return fmt.Sprintf("RotationPolicy(%d)", int(p))
+	}
+}
+
+// Pool is a per-country set of residential exit addresses.
+type Pool struct {
+	country string
+	rng     *simrand.RNG
+	exits   []IP
+	index   map[IP]int
+}
+
+// NewPool builds a pool of size exits attributed to the given country code.
+// Addresses are synthesized deterministically from the RNG; each country's
+// pool lives in a distinct /8-derived space so exits never collide across
+// countries.
+func NewPool(r *simrand.RNG, country string, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{
+		country: country,
+		rng:     r,
+		exits:   make([]IP, 0, size),
+		index:   make(map[IP]int, size),
+	}
+	// Derive a stable leading octet pair from the country code so pools are
+	// disjoint between countries.
+	lead := 0
+	for i := range len(country) {
+		lead = lead*31 + int(country[i])
+	}
+	a := 11 + (lead % 80) // avoid 0/10/127 specials well enough for a simulation
+	b := (lead / 80) % 256
+	for len(p.exits) < size {
+		ip := IP(strconv.Itoa(a) + "." + strconv.Itoa(b) + "." +
+			strconv.Itoa(p.rng.Intn(256)) + "." + strconv.Itoa(1+p.rng.Intn(254)))
+		if _, dup := p.index[ip]; dup {
+			continue
+		}
+		p.index[ip] = len(p.exits)
+		p.exits = append(p.exits, ip)
+	}
+	return p
+}
+
+// Country returns the pool's country code.
+func (p *Pool) Country() string { return p.country }
+
+// Size returns the number of exits.
+func (p *Pool) Size() int { return len(p.exits) }
+
+// Contains reports whether ip belongs to this pool.
+func (p *Pool) Contains(ip IP) bool {
+	_, ok := p.index[ip]
+	return ok
+}
+
+// Draw returns a uniformly random exit.
+func (p *Pool) Draw() IP {
+	return p.exits[p.rng.Intn(len(p.exits))]
+}
+
+// Churn replaces fraction of the exits with fresh addresses, modelling
+// user-installed proxy nodes joining and leaving. It returns how many exits
+// were replaced.
+func (p *Pool) Churn(fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int(float64(len(p.exits)) * fraction)
+	for i := 0; i < n; i++ {
+		victim := p.rng.Intn(len(p.exits))
+		old := p.exits[victim]
+		delete(p.index, old)
+		// New address in the same leading space.
+		parts := splitIP(old)
+		for {
+			ip := IP(parts[0] + "." + parts[1] + "." +
+				strconv.Itoa(p.rng.Intn(256)) + "." + strconv.Itoa(1+p.rng.Intn(254)))
+			if _, dup := p.index[ip]; dup {
+				continue
+			}
+			p.exits[victim] = ip
+			p.index[ip] = victim
+			break
+		}
+	}
+	return n
+}
+
+func splitIP(ip IP) [4]string {
+	var parts [4]string
+	s := string(ip)
+	idx := 0
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if idx < 4 {
+				parts[idx] = s[start:i]
+			}
+			idx++
+			start = i + 1
+		}
+	}
+	return parts
+}
+
+// Service is a residential proxy provider with per-country pools and a
+// per-request price. Pricing is what makes honeypot/economic mitigations
+// bite: every wasted request still costs the attacker proxy bandwidth.
+type Service struct {
+	rng           *simrand.RNG
+	pools         map[string]*Pool
+	poolSize      int
+	requests      int
+	costPerReqUSD float64
+}
+
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithPoolSize sets how many exits each country pool holds.
+func WithPoolSize(n int) ServiceOption {
+	return func(s *Service) { s.poolSize = n }
+}
+
+// WithCostPerRequest sets the price the attacker pays per proxied request.
+// Residential bandwidth retails around $3-8/GB; at a few KB per API call
+// the effective per-request price is a fraction of a tenth of a cent.
+func WithCostPerRequest(usd float64) ServiceOption {
+	return func(s *Service) { s.costPerReqUSD = usd }
+}
+
+// DefaultCostPerRequestUSD is the default effective per-request price.
+const DefaultCostPerRequestUSD = 0.0004
+
+// NewService returns a Service drawing from r.
+func NewService(r *simrand.RNG, opts ...ServiceOption) *Service {
+	s := &Service{
+		rng:           r,
+		pools:         make(map[string]*Pool),
+		poolSize:      512,
+		costPerReqUSD: DefaultCostPerRequestUSD,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Exit returns an exit IP in the requested country, creating the country
+// pool on first use. Each call is counted (and billed) as one proxied
+// request.
+func (s *Service) Exit(country string) IP {
+	p, ok := s.pools[country]
+	if !ok {
+		p = NewPool(s.rng.Derive("pool-"+country), country, s.poolSize)
+		s.pools[country] = p
+	}
+	s.requests++
+	return p.Draw()
+}
+
+// Requests returns how many proxied requests the service has served.
+func (s *Service) Requests() int { return s.requests }
+
+// SpendUSD returns the attacker's cumulative proxy spend.
+func (s *Service) SpendUSD() float64 {
+	return float64(s.requests) * s.costPerReqUSD
+}
+
+// Countries returns the country codes with materialized pools, sorted.
+func (s *Service) Countries() []string {
+	out := make([]string, 0, len(s.pools))
+	for c := range s.pools {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PoolFor returns the pool for a country if it has been materialized.
+func (s *Service) PoolFor(country string) (*Pool, bool) {
+	p, ok := s.pools[country]
+	return p, ok
+}
+
+// Session is a client-side handle applying a rotation policy over the
+// service.
+type Session struct {
+	svc     *Service
+	country string
+	policy  RotationPolicy
+	current IP
+	has     bool
+}
+
+// NewSession opens a rotation session pinned to a country.
+func (s *Service) NewSession(country string, policy RotationPolicy) *Session {
+	return &Session{svc: s, country: country, policy: policy}
+}
+
+// Addr returns the exit to use for the next request under the session's
+// policy.
+func (ps *Session) Addr() IP {
+	switch ps.policy {
+	case RotatePerRequest:
+		ps.current = ps.svc.Exit(ps.country)
+		ps.has = true
+	default:
+		if !ps.has {
+			ps.current = ps.svc.Exit(ps.country)
+			ps.has = true
+		}
+	}
+	return ps.current
+}
+
+// Blocked informs the session its current exit was blocked; under
+// RotateOnBlock (and the sticky policy) the next Addr draws a fresh exit.
+func (ps *Session) Blocked() {
+	ps.has = false
+}
+
+// Policy returns the session's rotation policy.
+func (ps *Session) Policy() RotationPolicy { return ps.policy }

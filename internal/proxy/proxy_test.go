@@ -1,0 +1,214 @@
+package proxy
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"funabuse/internal/simrand"
+)
+
+func TestPoolGeneratesDistinctValidIPs(t *testing.T) {
+	p := NewPool(simrand.New(1), "FR", 300)
+	if p.Size() != 300 {
+		t.Fatalf("Size() = %d", p.Size())
+	}
+	seen := map[IP]bool{}
+	for _, ip := range p.exits {
+		if seen[ip] {
+			t.Fatalf("duplicate exit %s", ip)
+		}
+		seen[ip] = true
+		assertValidIP(t, ip)
+	}
+}
+
+func assertValidIP(t *testing.T, ip IP) {
+	t.Helper()
+	parts := strings.Split(string(ip), ".")
+	if len(parts) != 4 {
+		t.Fatalf("malformed IP %q", ip)
+	}
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			t.Fatalf("malformed octet in %q", ip)
+		}
+	}
+}
+
+func TestPoolsDisjointAcrossCountries(t *testing.T) {
+	r := simrand.New(2)
+	fr := NewPool(r.Derive("fr"), "FR", 200)
+	uz := NewPool(r.Derive("uz"), "UZ", 200)
+	for _, ip := range uz.exits {
+		if fr.Contains(ip) {
+			t.Fatalf("exit %s in both FR and UZ pools", ip)
+		}
+	}
+}
+
+func TestPoolDrawIsMember(t *testing.T) {
+	p := NewPool(simrand.New(3), "GB", 50)
+	for range 500 {
+		if !p.Contains(p.Draw()) {
+			t.Fatal("Draw returned non-member")
+		}
+	}
+}
+
+func TestChurnReplacesExits(t *testing.T) {
+	p := NewPool(simrand.New(4), "DE", 100)
+	before := make(map[IP]bool, 100)
+	for _, ip := range p.exits {
+		before[ip] = true
+	}
+	n := p.Churn(0.3)
+	if n != 30 {
+		t.Fatalf("Churn replaced %d, want 30", n)
+	}
+	if p.Size() != 100 {
+		t.Fatalf("pool size changed to %d", p.Size())
+	}
+	fresh := 0
+	for _, ip := range p.exits {
+		if !before[ip] {
+			fresh++
+		}
+		assertValidIP(t, ip)
+	}
+	// Churn may re-pick the same victim twice, so fresh <= 30, but most
+	// replacements should be new addresses.
+	if fresh == 0 || fresh > 30 {
+		t.Fatalf("fresh exits after churn = %d", fresh)
+	}
+}
+
+func TestChurnBounds(t *testing.T) {
+	p := NewPool(simrand.New(5), "IT", 10)
+	if p.Churn(0) != 0 {
+		t.Fatal("Churn(0) replaced exits")
+	}
+	if got := p.Churn(5.0); got != 10 {
+		t.Fatalf("Churn(>1) replaced %d, want full pool", got)
+	}
+}
+
+func TestServiceExitMatchesCountryPool(t *testing.T) {
+	s := NewService(simrand.New(6), WithPoolSize(64))
+	ip := s.Exit("UZ")
+	pool, ok := s.PoolFor("UZ")
+	if !ok {
+		t.Fatal("pool not materialized")
+	}
+	if !pool.Contains(ip) {
+		t.Fatalf("exit %s not in UZ pool", ip)
+	}
+	if pool.Size() != 64 {
+		t.Fatalf("pool size %d, want 64", pool.Size())
+	}
+}
+
+func TestServiceBilling(t *testing.T) {
+	s := NewService(simrand.New(7), WithCostPerRequest(0.001))
+	for range 250 {
+		s.Exit("FR")
+	}
+	if s.Requests() != 250 {
+		t.Fatalf("Requests() = %d", s.Requests())
+	}
+	if got := s.SpendUSD(); got != 0.25 {
+		t.Fatalf("SpendUSD() = %v, want 0.25", got)
+	}
+}
+
+func TestServiceCountriesSorted(t *testing.T) {
+	s := NewService(simrand.New(8))
+	for _, c := range []string{"UZ", "FR", "GB"} {
+		s.Exit(c)
+	}
+	got := s.Countries()
+	want := []string{"FR", "GB", "UZ"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Countries() = %v", got)
+		}
+	}
+}
+
+func TestSessionPerRequestRotates(t *testing.T) {
+	s := NewService(simrand.New(9), WithPoolSize(1024))
+	sess := s.NewSession("FR", RotatePerRequest)
+	seen := map[IP]bool{}
+	for range 100 {
+		seen[sess.Addr()] = true
+	}
+	if len(seen) < 80 {
+		t.Fatalf("per-request rotation produced only %d distinct exits", len(seen))
+	}
+}
+
+func TestSessionStickyHoldsExit(t *testing.T) {
+	s := NewService(simrand.New(10))
+	sess := s.NewSession("FR", RotatePerSession)
+	first := sess.Addr()
+	for range 50 {
+		if sess.Addr() != first {
+			t.Fatal("sticky session rotated without a block")
+		}
+	}
+	if s.Requests() != 1 {
+		t.Fatalf("sticky session billed %d requests, want 1", s.Requests())
+	}
+}
+
+func TestSessionOnBlockRotatesOnlyAfterBlock(t *testing.T) {
+	s := NewService(simrand.New(11), WithPoolSize(4096))
+	sess := s.NewSession("FR", RotateOnBlock)
+	first := sess.Addr()
+	if sess.Addr() != first {
+		t.Fatal("on-block session rotated spontaneously")
+	}
+	sess.Blocked()
+	second := sess.Addr()
+	if second == first {
+		t.Fatal("on-block session kept blocked exit (possible but vanishingly unlikely with 4096 exits)")
+	}
+}
+
+func TestRotationPolicyString(t *testing.T) {
+	cases := map[RotationPolicy]string{
+		RotatePerRequest:  "per-request",
+		RotatePerSession:  "per-session",
+		RotateOnBlock:     "on-block",
+		RotationPolicy(9): "RotationPolicy(9)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestPoolDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := NewPool(simrand.New(seed), "TH", 32)
+		b := NewPool(simrand.New(seed), "TH", 32)
+		for i := range a.exits {
+			if a.exits[i] != b.exits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPoolMinimumSize(t *testing.T) {
+	if got := NewPool(simrand.New(12), "SG", 0).Size(); got != 1 {
+		t.Fatalf("zero-size pool has %d exits, want 1", got)
+	}
+}

@@ -1,0 +1,111 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSchedulerFiresInTimeOrderProperty: for any random schedule of events,
+// callbacks observe non-decreasing virtual time and the clock never runs
+// ahead of the firing event.
+func TestSchedulerFiresInTimeOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler(NewManual(epoch))
+		var fired []time.Time
+		for _, off := range offsets {
+			at := epoch.Add(time.Duration(off) * time.Second)
+			s.Schedule(at, func(now time.Time) {
+				fired = append(fired, now)
+			})
+		}
+		if err := s.Drain(0); err != nil {
+			return false
+		}
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerReschedulingFromCallbacksProperty: callbacks that schedule
+// more work never fire anything in the past, and Drain terminates when the
+// re-scheduling chain is bounded.
+func TestSchedulerReschedulingFromCallbacksProperty(t *testing.T) {
+	f := func(depths []uint8) bool {
+		s := NewScheduler(NewManual(epoch))
+		fired := 0
+		var chain func(remaining int) func(time.Time)
+		chain = func(remaining int) func(time.Time) {
+			return func(now time.Time) {
+				fired++
+				if now.Before(s.Now()) {
+					t.Fatal("fired in the past")
+				}
+				if remaining > 0 {
+					s.ScheduleAfter(time.Second, chain(remaining-1))
+				}
+			}
+		}
+		want := 0
+		for _, d := range depths {
+			n := int(d % 8)
+			want += n + 1
+			s.ScheduleAfter(time.Second, chain(n))
+		}
+		if err := s.Drain(0); err != nil {
+			return false
+		}
+		return fired == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelledEventsNeverFireProperty: a random subset of cancellations is
+// honoured exactly.
+func TestCancelledEventsNeverFireProperty(t *testing.T) {
+	f := func(offsets []uint8, cancelMask uint64) bool {
+		s := NewScheduler(NewManual(epoch))
+		firedIdx := map[int]bool{}
+		events := make([]*Event, len(offsets))
+		for i, off := range offsets {
+			i := i
+			events[i] = s.Schedule(epoch.Add(time.Duration(off)*time.Second), func(time.Time) {
+				firedIdx[i] = true
+			})
+		}
+		cancelled := map[int]bool{}
+		for i := range events {
+			if cancelMask&(1<<(uint(i)%64)) != 0 {
+				events[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		if err := s.Drain(0); err != nil {
+			return false
+		}
+		for i := range events {
+			if cancelled[i] && firedIdx[i] {
+				return false
+			}
+			if !cancelled[i] && !firedIdx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"funabuse/internal/proxy"
+)
+
+// This file serialises request logs in an NCSA Combined-Log-Format dialect
+// so traces can be exported to (and imported from) standard web-log
+// tooling. The "user" field carries the session cookie, the referer slot
+// is unused, and the user-agent slot carries the fingerprint hash — the
+// attribution signals this framework's detectors need that classic CLF
+// lacks.
+//
+// Ground-truth actor labels are intentionally NOT serialised: an exported
+// trace looks exactly like a production web log, unlabeled.
+
+// clfTime is the strftime-style timestamp CLF uses.
+const clfTime = "02/Jan/2006:15:04:05 -0700"
+
+// WriteCLF writes the log's requests to w, one line per request.
+func (l *Log) WriteCLF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range l.requests {
+		cookie := r.Cookie
+		if cookie == "" {
+			cookie = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "%s - %s [%s] %q %d - %q %q\n",
+			r.IP,
+			cookie,
+			r.Time.Format(clfTime),
+			r.Method+" "+r.Path+" HTTP/1.1",
+			r.Status,
+			"-",
+			"fp/"+strconv.FormatUint(r.Fingerprint, 16),
+		); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseCLF reads a log in the dialect WriteCLF emits. Lines that do not
+// parse are returned in the error after a best-effort pass; the parsed
+// requests are always returned.
+func ParseCLF(r io.Reader) ([]Request, error) {
+	var out []Request
+	var badLines []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		req, ok := parseCLFLine(sc.Text())
+		if !ok {
+			badLines = append(badLines, lineNo)
+			continue
+		}
+		out = append(out, req)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if len(badLines) > 0 {
+		return out, fmt.Errorf("weblog: %d unparseable line(s), first at %d", len(badLines), badLines[0])
+	}
+	return out, nil
+}
+
+func parseCLFLine(line string) (Request, bool) {
+	var req Request
+
+	// IP.
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return req, false
+	}
+	req.IP = proxy.IP(line[:sp])
+	rest := line[sp+1:]
+
+	// "- cookie".
+	if !strings.HasPrefix(rest, "- ") {
+		return req, false
+	}
+	rest = rest[2:]
+	sp = strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return req, false
+	}
+	if cookie := rest[:sp]; cookie != "-" {
+		req.Cookie = cookie
+	}
+	rest = rest[sp+1:]
+
+	// [timestamp].
+	if len(rest) == 0 || rest[0] != '[' {
+		return req, false
+	}
+	end := strings.IndexByte(rest, ']')
+	if end < 0 {
+		return req, false
+	}
+	ts, err := time.Parse(clfTime, rest[1:end])
+	if err != nil {
+		return req, false
+	}
+	req.Time = ts
+	rest = strings.TrimPrefix(rest[end+1:], " ")
+
+	// "METHOD path HTTP/1.1".
+	reqLine, rest, ok := quoted(rest)
+	if !ok {
+		return req, false
+	}
+	parts := strings.Split(reqLine, " ")
+	if len(parts) != 3 {
+		return req, false
+	}
+	req.Method, req.Path = parts[0], parts[1]
+
+	// Status.
+	rest = strings.TrimPrefix(rest, " ")
+	sp = strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return req, false
+	}
+	status, err := strconv.Atoi(rest[:sp])
+	if err != nil {
+		return req, false
+	}
+	req.Status = status
+	rest = rest[sp+1:]
+
+	// "- " then referer then user agent.
+	rest = strings.TrimPrefix(rest, "- ")
+	if _, rest, ok = quoted(rest); !ok { // referer, unused
+		return req, false
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	ua, _, ok := quoted(rest)
+	if !ok {
+		return req, false
+	}
+	if hexStr, found := strings.CutPrefix(ua, "fp/"); found {
+		if v, err := strconv.ParseUint(hexStr, 16, 64); err == nil {
+			req.Fingerprint = v
+		}
+	}
+	return req, true
+}
+
+// quoted extracts a leading double-quoted field, returning the contents
+// and the remainder after the closing quote.
+func quoted(s string) (content, rest string, ok bool) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", s, false
+	}
+	end := strings.IndexByte(s[1:], '"')
+	if end < 0 {
+		return "", s, false
+	}
+	return s[1 : 1+end], s[2+end:], true
+}

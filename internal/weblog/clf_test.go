@@ -1,0 +1,124 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCLFRoundTrip(t *testing.T) {
+	l := NewLog()
+	base := time.Date(2022, time.May, 2, 10, 30, 0, 0, time.UTC)
+	want := []Request{
+		{
+			Time: base, IP: "203.0.113.7", Fingerprint: 0xdeadbeef,
+			Cookie: "user-1", Method: "GET", Path: "/search", Status: 200,
+		},
+		{
+			Time: base.Add(time.Minute), IP: "198.51.100.9", Fingerprint: 0,
+			Cookie: "", Method: "POST", Path: "/booking/hold", Status: 403,
+		},
+	}
+	for _, r := range want {
+		l.Append(r)
+	}
+
+	var sb strings.Builder
+	if err := l.WriteCLF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCLF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseCLF: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d requests, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if !g.Time.Equal(w.Time) || g.IP != w.IP || g.Fingerprint != w.Fingerprint ||
+			g.Cookie != w.Cookie || g.Method != w.Method || g.Path != w.Path || g.Status != w.Status {
+			t.Fatalf("request %d round-trip mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+func TestCLFDropsGroundTruth(t *testing.T) {
+	l := NewLog()
+	l.Append(Request{
+		Time: time.Now(), IP: "1.1.1.1", Method: "GET", Path: "/x", Status: 200,
+		Actor: ActorSeatSpinner, ActorID: "spin-1",
+	})
+	var sb strings.Builder
+	if err := l.WriteCLF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "spin-1") || strings.Contains(sb.String(), "seat") {
+		t.Fatalf("exported log leaks ground truth: %q", sb.String())
+	}
+	got, err := ParseCLF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Actor != 0 || got[0].ActorID != "" {
+		t.Fatal("parsed request carries actor labels")
+	}
+}
+
+func TestParseCLFBadLines(t *testing.T) {
+	input := `203.0.113.7 - u1 [02/May/2022:10:30:00 +0000] "GET /a HTTP/1.1" 200 - "-" "fp/1f"
+this is not a log line
+198.51.100.9 - - [02/May/2022:10:31:00 +0000] "POST /b HTTP/1.1" 429 - "-" "fp/0"
+`
+	got, err := ParseCLF(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("bad line not reported")
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d good lines, want 2", len(got))
+	}
+	if got[0].Fingerprint != 0x1f || got[1].Status != 429 {
+		t.Fatalf("parsed values wrong: %+v", got)
+	}
+}
+
+func TestParseCLFMalformedVariants(t *testing.T) {
+	bad := []string{
+		"",
+		"1.2.3.4",
+		"1.2.3.4 - u1 02/May/2022 \"GET / HTTP/1.1\" 200 - \"-\" \"fp/0\"", // no brackets
+		"1.2.3.4 - u1 [bad time] \"GET / HTTP/1.1\" 200 - \"-\" \"fp/0\"",
+		"1.2.3.4 - u1 [02/May/2022:10:30:00 +0000] \"GET /\" 200 - \"-\" \"fp/0\"",         // 2-part request line
+		"1.2.3.4 - u1 [02/May/2022:10:30:00 +0000] \"GET / HTTP/1.1\" xx - \"-\" \"fp/0\"", // bad status
+	}
+	for _, line := range bad {
+		if _, ok := parseCLFLine(line); ok {
+			t.Errorf("malformed line parsed: %q", line)
+		}
+	}
+}
+
+func TestCLFSessionizableAfterRoundTrip(t *testing.T) {
+	// The exported/imported log must still drive the detection pipeline.
+	l := NewLog()
+	base := time.Date(2022, time.May, 2, 10, 0, 0, 0, time.UTC)
+	for i := range 6 {
+		l.Append(Request{
+			Time: base.Add(time.Duration(i) * time.Minute),
+			IP:   "10.0.0.1", Cookie: "alice",
+			Method: "GET", Path: "/search", Status: 200,
+		})
+	}
+	var sb strings.Builder
+	if err := l.WriteCLF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCLF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := Sessionize(parsed, DefaultSessionGap)
+	if len(sessions) != 1 || len(sessions[0].Requests) != 6 {
+		t.Fatalf("round-tripped log sessionized into %d sessions", len(sessions))
+	}
+}
