@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+# The full pre-merge gate: vet, build, and the test suite under the race
+# detector (the signal engine, httpgate and detect monitors are concurrent).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

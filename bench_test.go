@@ -91,14 +91,14 @@ func BenchmarkCaseCBoardingPass(b *testing.B) {
 }
 
 // BenchmarkDetectorComparison regenerates the Section III detector
-// comparison (three days of four-class traffic, five detectors).
+// comparison (three days of four-class traffic, six detectors).
 func BenchmarkDetectorComparison(b *testing.B) {
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunDetectionComparison(uint64(i + 1))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Scores) != 5 {
+		if len(res.Scores) != 6 {
 			b.Fatal("detector set incomplete")
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"funabuse/internal/attack"
 	"funabuse/internal/booking"
+	"funabuse/internal/detect"
 	"funabuse/internal/fingerprint"
 	"funabuse/internal/metrics"
 	"funabuse/internal/proxy"
@@ -41,6 +42,13 @@ type CaseAResult struct {
 	Departure time.Time
 	// SeatHoursLost integrates attacker-held seat time on the real system.
 	SeatHoursLost float64
+	// PrintsFlaggedOnline is how many attacker identities the streaming
+	// monitor flagged for exit-IP rotation while consuming the request
+	// stream — the online signal the paper's defender lacked.
+	PrintsFlaggedOnline int
+	// HumansFlaggedOnline counts human identities the monitor flagged; it
+	// should be zero (cookies keep human keyspaces private).
+	HumansFlaggedOnline int
 }
 
 // Table renders the case-study summary.
@@ -55,6 +63,7 @@ func (r CaseAResult) Table() *metrics.Table {
 	t.AddRow("attack ceased before departure", fmt.Sprintf("%v (%s before)", r.AttackStopped,
 		r.Departure.Sub(r.LastAttackHold).Round(time.Hour)))
 	t.AddRow("seat-hours removed from sale", fmt.Sprintf("%.0f", r.SeatHoursLost))
+	t.AddRow("attacker prints flagged online (IP rotation)", fmt.Sprintf("%d", r.PrintsFlaggedOnline))
 	return t
 }
 
@@ -147,6 +156,32 @@ func RunCaseA(cfg CaseAConfig) (CaseAResult, error) {
 			attackRecords = append(attackRecords, r)
 		}
 	}
+
+	// Replay the request stream through the online monitor: every hold
+	// arrives through a rotating residential exit, so each burned
+	// fingerprint crosses the distinct-IP threshold within a handful of
+	// requests — the live tell the incident's defender lacked.
+	monitor := detect.NewStreamMonitor(detect.StreamConfig{
+		RateWindow:        time.Hour,
+		DistinctThreshold: 8,
+	})
+	actorOf := make(map[string]string)
+	for _, r := range env.App.Log().Requests() {
+		key := detect.IdentityKey(r)
+		if _, seen := actorOf[key]; !seen {
+			actorOf[key] = r.ActorID
+		}
+		monitor.Observe(r)
+	}
+	var spinFlagged, humanFlagged int
+	for _, key := range monitor.FlaggedKeys() {
+		if actor := actorOf[key]; len(actor) >= 6 && actor[:6] == "spin-1" {
+			spinFlagged++
+		} else {
+			humanFlagged++
+		}
+	}
+
 	return CaseAResult{
 		MeanRotationInterval: stats.MeanRotationInterval(),
 		Rotations:            len(stats.Rotations),
@@ -159,5 +194,7 @@ func RunCaseA(cfg CaseAConfig) (CaseAResult, error) {
 		LastAttackHold:       lastHold,
 		Departure:            envCfg.TargetDep,
 		SeatHoursLost:        booking.SeatHours(attackRecords, envCfg.TargetID, envCfg.Booking.HoldTTL),
+		PrintsFlaggedOnline:  spinFlagged,
+		HumansFlaggedOnline:  humanFlagged,
 	}, nil
 }

@@ -259,5 +259,28 @@ func RunDetectionComparison(seed uint64) (DetectionResult, error) {
 		return false
 	})
 
+	// 5. Streaming signals: the online monitor consumes the same traffic
+	// one request at a time and flags identities by in-window rate
+	// (catches the scraper) or distinct-exit cardinality (catches the
+	// rotating spinners and the pumper, which sessionization shatters into
+	// single-request sessions the offline detectors cannot see). A session
+	// is judged by whether any of its identities was ever flagged.
+	monitor := detect.NewStreamMonitor(detect.StreamConfig{
+		RateWindow:        time.Hour,
+		RateThreshold:     120,
+		DistinctThreshold: 8,
+	})
+	for _, r := range env.App.Log().Requests() {
+		monitor.Observe(r)
+	}
+	evaluate("streaming signals", func(s *weblog.Session) bool {
+		for _, r := range s.Requests {
+			if monitor.Flagged(detect.IdentityKey(r)) {
+				return true
+			}
+		}
+		return false
+	})
+
 	return res, nil
 }

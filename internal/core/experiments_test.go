@@ -104,6 +104,23 @@ func TestTable1Shape(t *testing.T) {
 	if res.FraudRevenueUSD <= 0 || res.AppCostUSD <= res.FraudRevenueUSD {
 		t.Fatalf("economics inverted: revenue %v cost %v", res.FraudRevenueUSD, res.AppCostUSD)
 	}
+	// Golden check: the streaming surge detector consuming the message
+	// stream one event at a time must reproduce the offline ranking
+	// row for row, counts and percentages included.
+	if len(res.Top10Streaming) != len(res.Top10) {
+		t.Fatalf("streaming top10 has %d rows, offline %d",
+			len(res.Top10Streaming), len(res.Top10))
+	}
+	for i := range res.Top10 {
+		if res.Top10Streaming[i] != res.Top10[i] {
+			t.Fatalf("row %d diverged: offline %+v streaming %+v",
+				i+1, res.Top10[i], res.Top10Streaming[i])
+		}
+	}
+	if res.GlobalIncreasePctStreaming != res.GlobalIncreasePct {
+		t.Fatalf("global increase diverged: offline %v streaming %v",
+			res.GlobalIncreasePct, res.GlobalIncreasePctStreaming)
+	}
 }
 
 func TestCaseAShape(t *testing.T) {
@@ -142,6 +159,16 @@ func TestCaseAShape(t *testing.T) {
 	}
 	if res.SeatHoursLost <= 0 {
 		t.Fatal("no inventory damage recorded")
+	}
+	// The streaming monitor sees essentially every burned identity: each
+	// rotation's fresh print immediately fans out across residential
+	// exits. Humans, keyed privately by their cookies, never fire.
+	if res.PrintsFlaggedOnline < res.Rotations/2 {
+		t.Fatalf("only %d of %d rotated prints flagged online",
+			res.PrintsFlaggedOnline, res.Rotations)
+	}
+	if res.HumansFlaggedOnline != 0 {
+		t.Fatalf("%d human identities flagged online", res.HumansFlaggedOnline)
 	}
 }
 
@@ -259,7 +286,7 @@ func TestDetectionComparisonShape(t *testing.T) {
 	for _, s := range res.Scores {
 		byName[s.Detector] = s
 	}
-	for _, name := range []string{"volume rules", "logistic regression", "naive bayes", "fingerprint checks", "volume + fingerprint"} {
+	for _, name := range []string{"volume rules", "logistic regression", "naive bayes", "fingerprint checks", "volume + fingerprint", "streaming signals"} {
 		if _, ok := byName[name]; !ok {
 			t.Fatalf("missing detector %q", name)
 		}
@@ -291,6 +318,21 @@ func TestDetectionComparisonShape(t *testing.T) {
 	comb := byName["volume + fingerprint"]
 	if comb.ScraperRecall < 0.9 || comb.NaiveSpinnerRecall < 0.9 {
 		t.Errorf("combined detector regressed: %+v", comb)
+	}
+	// Streaming signals: the only detector that also catches the spoofed
+	// spinner and the pumper — their per-request exit rotation is invisible
+	// to session features (sessionization shatters them into single-request
+	// sessions) but lights up the online distinct-IP cardinality signal.
+	st := byName["streaming signals"]
+	if st.ScraperRecall < 0.9 || st.NaiveSpinnerRecall < 0.9 {
+		t.Errorf("streaming signals missed high-volume/naive classes: %+v", st)
+	}
+	if st.SpoofedSpinnerRecall < 0.9 || st.PumperRecall < 0.9 {
+		t.Errorf("streaming signals missed rotation classes: spoofed %v pumper %v",
+			st.SpoofedSpinnerRecall, st.PumperRecall)
+	}
+	if st.HumanFPR > 0.02 {
+		t.Errorf("streaming signals human FPR %v", st.HumanFPR)
 	}
 }
 

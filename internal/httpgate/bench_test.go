@@ -1,0 +1,105 @@
+package httpgate
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"funabuse/internal/mitigate"
+	"funabuse/internal/simclock"
+)
+
+// mutexGate reproduces the gate's previous limiter core — every decision
+// serialised behind one mutex over mitigate.KeyedLimiter — as the baseline
+// for the sharded path. Only the contended part is modelled; attribution
+// and blocklist checks are identical in both designs.
+type mutexGate struct {
+	mu      sync.Mutex
+	path    *mitigate.KeyedLimiter
+	profile *mitigate.KeyedLimiter
+}
+
+func (m *mutexGate) allow(path, sid string, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.profile.Allow("pf:"+sid, now) {
+		return false
+	}
+	return m.path.Allow("path:"+path, now)
+}
+
+func benchRequest(i int) (path, sid string) {
+	return "/booking/" + strconv.Itoa(i%8), "user-" + strconv.Itoa(i%512)
+}
+
+func BenchmarkGateDecideSharded(b *testing.B) {
+	clock := simclock.NewManual(t0)
+	g := New(Config{
+		Clock:         clock,
+		ProfileLimit:  1 << 30,
+		ProfileWindow: time.Hour,
+		PathLimit:     1 << 30,
+		PathWindow:    time.Hour,
+	})
+	reqs := make([]*http.Request, 8)
+	for i := range reqs {
+		path, _ := benchRequest(i)
+		reqs[i] = httptest.NewRequest(http.MethodGet, path, nil)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, sid := benchRequest(i)
+			info := ClientInfo{IP: "203.0.113.7", ClientKey: sid, HasFingerprint: true}
+			g.decide(reqs[i%8], info)
+			i++
+		}
+	})
+}
+
+func BenchmarkGateDecideMutexBaseline(b *testing.B) {
+	clock := simclock.NewManual(t0)
+	m := &mutexGate{
+		path:    mitigate.NewKeyedLimiter(time.Hour, 1<<30),
+		profile: mitigate.NewKeyedLimiter(time.Hour, 1<<30),
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			path, sid := benchRequest(i)
+			m.allow(path, sid, clock.Now())
+			i++
+		}
+	})
+}
+
+func BenchmarkGateWrapEndToEnd(b *testing.B) {
+	clock := simclock.NewManual(t0)
+	g := New(Config{
+		Clock:         clock,
+		Blocks:        mitigate.NewBlockList(0),
+		ProfileLimit:  1 << 30,
+		ProfileWindow: time.Hour,
+		PathLimit:     1 << 30,
+		PathWindow:    time.Hour,
+	})
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			path, sid := benchRequest(i)
+			r := httptest.NewRequest(http.MethodGet, path, nil)
+			r.RemoteAddr = "203.0.113.7:51000"
+			r.AddCookie(&http.Cookie{Name: ClientCookie, Value: sid})
+			r.Header.Set(FingerprintHeader, "abc")
+			h.ServeHTTP(httptest.NewRecorder(), r)
+			i++
+		}
+	})
+}

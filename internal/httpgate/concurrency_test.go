@@ -1,0 +1,168 @@
+package httpgate
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"funabuse/internal/mitigate"
+	"funabuse/internal/simclock"
+)
+
+// The tests below exercise the gate under real goroutine concurrency (run
+// with -race). The handler counts hits atomically because, unlike the
+// single-threaded env fixture, requests here overlap.
+
+func concurrentGate(mut func(*Config)) (*Gate, http.Handler, *atomic.Uint64) {
+	clock := simclock.NewManual(t0)
+	cfg := Config{Clock: clock, Blocks: mitigate.NewBlockList(0)}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g := New(cfg)
+	var hits atomic.Uint64
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	return g, h, &hits
+}
+
+func fire(h http.Handler, path, sid string, fp uint64) int {
+	r := httptest.NewRequest(http.MethodGet, path, nil)
+	r.RemoteAddr = "203.0.113.7:51000"
+	r.Header.Set(FingerprintHeader, strconv.FormatUint(fp, 16))
+	if sid != "" {
+		r.AddCookie(&http.Cookie{Name: ClientCookie, Value: sid})
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w.Code
+}
+
+func TestGateConcurrentDistinctClientsAllAdmitted(t *testing.T) {
+	const workers = 16
+	const perWorker = 200
+	g, h, hits := concurrentGate(func(c *Config) {
+		c.ProfileLimit = perWorker + 1
+		c.ProfileWindow = time.Hour
+	})
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sid := "user-" + strconv.Itoa(w)
+			for i := range perWorker {
+				if code := fire(h, "/search/"+strconv.Itoa(i%7), sid, uint64(w+1)); code != http.StatusOK {
+					t.Errorf("worker %d request %d: status %d", w, i, code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Admitted(); got != workers*perWorker {
+		t.Fatalf("admitted %d, want %d", got, workers*perWorker)
+	}
+	if g.Denied() != 0 {
+		t.Fatalf("denied %d, want 0", g.Denied())
+	}
+	if hits.Load() != workers*perWorker {
+		t.Fatalf("handler hits %d", hits.Load())
+	}
+}
+
+func TestGateConcurrentSharedLimitExactAllowance(t *testing.T) {
+	// All workers contend for one profile key at the same virtual instant:
+	// no matter the interleaving, exactly ProfileLimit requests may pass.
+	const workers = 16
+	const perWorker = 50
+	const limit = 100
+	g, h, _ := concurrentGate(func(c *Config) {
+		c.ProfileLimit = limit
+		c.ProfileWindow = time.Hour
+	})
+	var wg sync.WaitGroup
+	var ok, throttled atomic.Uint64
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for range perWorker {
+				switch fire(h, "/sms/locate", "shared-profile", uint64(w+1)) {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					throttled.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ok.Load() != limit {
+		t.Fatalf("%d requests passed a limit of %d", ok.Load(), limit)
+	}
+	if throttled.Load() != workers*perWorker-limit {
+		t.Fatalf("throttled %d, want %d", throttled.Load(), workers*perWorker-limit)
+	}
+	if g.Admitted() != limit || g.Denied() != workers*perWorker-limit {
+		t.Fatalf("counters admitted=%d denied=%d", g.Admitted(), g.Denied())
+	}
+}
+
+func TestGateConcurrentMixedLayers(t *testing.T) {
+	// Blocklist writes race against gate reads while limits enforce on
+	// other clients; counters must reconcile exactly.
+	const workers = 12
+	const perWorker = 300
+	clock := simclock.NewManual(t0)
+	blocks := mitigate.NewBlockList(time.Hour)
+	blocks.Block("ck:banned", t0)
+	g := New(Config{
+		Clock:      clock,
+		Blocks:     blocks,
+		PathLimit:  100_000,
+		PathWindow: time.Hour,
+	})
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	var wg sync.WaitGroup
+	var blocked atomic.Uint64
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range perWorker {
+				sid := "user-" + strconv.Itoa(w)
+				if i%5 == 0 {
+					sid = "banned"
+				}
+				if i%97 == 0 {
+					// Concurrent rule churn on unrelated keys.
+					blocks.Block("ip:198.51.100."+strconv.Itoa(i%250), t0)
+				}
+				if fire(h, "/booking/hold", sid, uint64(w+1)) == http.StatusForbidden {
+					blocked.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wantBlocked := uint64(workers * perWorker / 5)
+	if blocked.Load() != wantBlocked {
+		t.Fatalf("blocked %d, want %d", blocked.Load(), wantBlocked)
+	}
+	if g.Admitted()+g.Denied() != workers*perWorker {
+		t.Fatalf("counters admitted=%d denied=%d do not sum to %d",
+			g.Admitted(), g.Denied(), workers*perWorker)
+	}
+	if g.Denied() != wantBlocked {
+		t.Fatalf("denied %d, want %d", g.Denied(), wantBlocked)
+	}
+}

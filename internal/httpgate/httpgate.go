@@ -24,10 +24,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"funabuse/internal/mitigate"
+	"funabuse/internal/signal"
 	"funabuse/internal/simclock"
 )
 
@@ -91,25 +92,32 @@ type Config struct {
 	// do not.
 	RequireFingerprint bool
 	// OnDecision, when non-nil, observes every decision (for logging or
-	// the defender's journals).
+	// the defender's journals). It may run concurrently and must be safe
+	// for concurrent use.
 	OnDecision func(r *http.Request, info ClientInfo, deniedBy string)
+	// Shards is the lock-stripe count for each rate-limiting layer,
+	// rounded up to a power of two; zero selects signal.DefaultShards.
+	Shards int
+	// WindowBuckets is the expiry granularity of the limiter bucket
+	// rings; zero selects signal.DefaultWindowBuckets.
+	WindowBuckets int
 }
 
 // Gate is an http.Handler middleware enforcing the defence pipeline. It is
-// safe for concurrent use: the underlying limiters and block lists are
-// single-threaded simulation structures, so the gate serialises decisions
-// behind a mutex (decisions are microseconds; the lock is not a
-// bottleneck at web-request rates).
+// safe for concurrent use without a global lock: each rate-limiting layer
+// is a lock-striped signal.Limiter, the block list synchronises itself,
+// and the counters are atomics, so decisions for unrelated keys proceed in
+// parallel. The Challenge and OnDecision hooks are called outside any gate
+// lock and must be concurrency-safe.
 type Gate struct {
 	cfg      Config
 	clock    simclock.Clock
-	mu       sync.Mutex
-	path     *mitigate.KeyedLimiter
-	profile  *mitigate.KeyedLimiter
-	resource *mitigate.KeyedLimiter
+	path     *signal.Limiter
+	profile  *signal.Limiter
+	resource *signal.Limiter
 
-	admitted uint64
-	denied   uint64
+	admitted atomic.Uint64
+	denied   atomic.Uint64
 }
 
 // New builds a Gate from cfg.
@@ -120,43 +128,42 @@ func New(cfg Config) *Gate {
 	}
 	g := &Gate{cfg: cfg, clock: clock}
 	if cfg.PathLimit > 0 {
-		g.path = mitigate.NewKeyedLimiter(cfg.PathWindow, cfg.PathLimit)
+		g.path = signal.NewLimiter(signal.LimiterConfig{
+			Window: cfg.PathWindow, Limit: cfg.PathLimit,
+			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
+		})
 	}
 	if cfg.ProfileLimit > 0 {
-		g.profile = mitigate.NewKeyedLimiter(cfg.ProfileWindow, cfg.ProfileLimit)
+		g.profile = signal.NewLimiter(signal.LimiterConfig{
+			Window: cfg.ProfileWindow, Limit: cfg.ProfileLimit,
+			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
+		})
 	}
 	if cfg.ResourceLimit > 0 {
-		g.resource = mitigate.NewKeyedLimiter(cfg.ResourceWindow, cfg.ResourceLimit)
+		g.resource = signal.NewLimiter(signal.LimiterConfig{
+			Window: cfg.ResourceWindow, Limit: cfg.ResourceLimit,
+			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
+		})
 	}
 	return g
 }
 
 // Admitted returns how many requests passed every layer.
-func (g *Gate) Admitted() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.admitted
-}
+func (g *Gate) Admitted() uint64 { return g.admitted.Load() }
 
 // Denied returns how many requests any layer rejected.
-func (g *Gate) Denied() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.denied
-}
+func (g *Gate) Denied() uint64 { return g.denied.Load() }
 
 // Wrap returns next guarded by the gate.
 func (g *Gate) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		info := g.client(r)
-		g.mu.Lock()
 		reason, status := g.decide(r, info)
 		if reason != "" {
-			g.denied++
+			g.denied.Add(1)
 		} else {
-			g.admitted++
+			g.admitted.Add(1)
 		}
-		g.mu.Unlock()
 		if g.cfg.OnDecision != nil {
 			g.cfg.OnDecision(r, info, reason)
 		}

@@ -1,6 +1,8 @@
 package mitigate
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -8,11 +10,18 @@ import (
 // fingerprint hashes, IP addresses, client identifiers). Rules expire
 // because long-lived rules accumulate false positives once the attacker has
 // rotated away — the operational reality behind the paper's rule churn.
+//
+// BlockList is safe for concurrent use: lookups take a read lock so the
+// sharded HTTP gate's parallel decisions do not serialise behind writers,
+// which only hold the write lock for map updates.
 type BlockList struct {
-	ttl     time.Duration
+	ttl time.Duration
+
+	mu      sync.RWMutex
 	entries map[string]time.Time // key -> expiry instant
-	hits    int
 	added   int
+
+	hits atomic.Int64
 }
 
 // NewBlockList returns a list whose rules live for ttl; ttl <= 0 means
@@ -27,38 +36,58 @@ func (b *BlockList) Block(key string, now time.Time) {
 	if b.ttl > 0 {
 		expiry = now.Add(b.ttl)
 	}
+	b.mu.Lock()
 	if _, exists := b.entries[key]; !exists {
 		b.added++
 	}
 	b.entries[key] = expiry
+	b.mu.Unlock()
 }
 
 // Unblock removes a rule.
 func (b *BlockList) Unblock(key string) {
+	b.mu.Lock()
 	delete(b.entries, key)
+	b.mu.Unlock()
 }
 
 // Blocked reports whether key is denied at the given instant, counting the
 // hit. Expired rules are pruned lazily.
 func (b *BlockList) Blocked(key string, now time.Time) bool {
+	b.mu.RLock()
 	expiry, ok := b.entries[key]
+	b.mu.RUnlock()
 	if !ok {
 		return false
 	}
 	if !expiry.IsZero() && expiry.Before(now) {
-		delete(b.entries, key)
+		b.mu.Lock()
+		// Re-check under the write lock: the rule may have been
+		// refreshed since the read.
+		if cur, ok := b.entries[key]; ok && !cur.IsZero() && cur.Before(now) {
+			delete(b.entries, key)
+		}
+		b.mu.Unlock()
 		return false
 	}
-	b.hits++
+	b.hits.Add(1)
 	return true
 }
 
 // Len returns the number of live rules as of the last access.
-func (b *BlockList) Len() int { return len(b.entries) }
+func (b *BlockList) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries)
+}
 
 // Hits returns how many requests the list denied.
-func (b *BlockList) Hits() int { return b.hits }
+func (b *BlockList) Hits() int { return int(b.hits.Load()) }
 
 // RulesAdded returns how many distinct rules were ever installed — the
 // operational cost of playing whack-a-mole with a rotating attacker.
-func (b *BlockList) RulesAdded() int { return b.added }
+func (b *BlockList) RulesAdded() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.added
+}

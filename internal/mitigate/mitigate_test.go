@@ -313,3 +313,84 @@ func TestLoyaltyGate(t *testing.T) {
 		t.Fatalf("Members = %d", g.Members())
 	}
 }
+
+func TestKeyedLimiterSweepEvictsStaleKeys(t *testing.T) {
+	l := NewKeyedLimiter(time.Hour, 1)
+	for i := range 100 {
+		key := "k" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		l.Allow(key, t0)
+		l.Allow(key, t0.Add(time.Minute)) // one denial per key
+	}
+	if l.TrackedKeys() == 0 {
+		t.Fatal("nothing tracked before sweep")
+	}
+	denialsBefore := l.TotalDenials()
+	l.Sweep(t0.Add(2 * time.Hour))
+	if got := l.TrackedKeys(); got != 0 {
+		t.Fatalf("%d stale keys survived sweep", got)
+	}
+	// Eviction must not lose the aggregate denial count.
+	if got := l.TotalDenials(); got != denialsBefore {
+		t.Fatalf("TotalDenials %d after sweep, want %d", got, denialsBefore)
+	}
+	if keys := l.DeniedKeys(); len(keys) != 0 {
+		t.Fatalf("evicted keys still listed: %v", keys)
+	}
+}
+
+func TestKeyedLimiterAutoSweepBoundsMemory(t *testing.T) {
+	l := NewKeyedLimiter(time.Minute, 5)
+	// A churning key space: each key is touched once and never again. The
+	// periodic sweep inside Allow must keep the table near the live set.
+	for i := range 20_000 {
+		at := t0.Add(time.Duration(i) * time.Second)
+		l.Allow("churn-"+string(rune('a'+i%26))+"-"+time.Duration(i).String(), at)
+	}
+	if got := l.TrackedKeys(); got > 2*keyedSweepEvery {
+		t.Fatalf("%d keys tracked, want bounded near the live window", got)
+	}
+}
+
+func TestKeyedLimiterSweepKeepsLiveEvents(t *testing.T) {
+	l := NewKeyedLimiter(time.Hour, 2)
+	l.Allow("live", t0)
+	l.Allow("live", t0.Add(30*time.Minute))
+	l.Sweep(t0.Add(45 * time.Minute))
+	if l.TrackedKeys() != 1 {
+		t.Fatalf("live key evicted, tracked=%d", l.TrackedKeys())
+	}
+	// Both events are still inside the window, so the next attempt denies.
+	if l.Allow("live", t0.Add(46*time.Minute)) {
+		t.Fatal("sweep dropped in-window events")
+	}
+}
+
+func TestBlockListConcurrentAccess(t *testing.T) {
+	b := NewBlockList(time.Hour)
+	done := make(chan struct{}, 8)
+	for w := range 8 {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := range 2000 {
+				key := "fp:" + string(rune('a'+(w+i)%16))
+				at := t0.Add(time.Duration(i) * time.Second)
+				switch i % 4 {
+				case 0:
+					b.Block(key, at)
+				case 1:
+					b.Blocked(key, at)
+				case 2:
+					b.Blocked(key, at.Add(2*time.Hour)) // expiry path
+				default:
+					b.Len()
+				}
+			}
+		}(w)
+	}
+	for range 8 {
+		<-done
+	}
+	if b.RulesAdded() == 0 {
+		t.Fatal("no rules recorded under concurrent load")
+	}
+}

@@ -13,11 +13,11 @@ import (
 
 // TokenBucket is a classic token-bucket limiter over virtual time.
 type TokenBucket struct {
-	capacity   float64
-	refillPerS float64
-	tokens     float64
-	last       time.Time
-	initalised bool
+	capacity    float64
+	refillPerS  float64
+	tokens      float64
+	last        time.Time
+	initialised bool
 }
 
 // NewTokenBucket returns a bucket holding at most capacity tokens, refilled
@@ -34,10 +34,10 @@ func NewTokenBucket(capacity, refillPerSecond float64) *TokenBucket {
 
 // Allow consumes one token at the given instant if available.
 func (b *TokenBucket) Allow(now time.Time) bool {
-	if !b.initalised {
+	if !b.initialised {
 		b.tokens = b.capacity
 		b.last = now
-		b.initalised = true
+		b.initialised = true
 	}
 	if now.After(b.last) {
 		b.tokens += now.Sub(b.last).Seconds() * b.refillPerS
@@ -65,7 +65,13 @@ type KeyedLimiter struct {
 	limit   int
 	events  map[string][]time.Time
 	denials map[string]int
+	// evictedDenials preserves TotalDenials across stale-key eviction.
+	evictedDenials int
+	ops            int
 }
+
+// keyedSweepEvery is how many Allow calls pass between stale-key sweeps.
+const keyedSweepEvery = 256
 
 // NewKeyedLimiter allows at most limit events per key within any trailing
 // window.
@@ -92,8 +98,15 @@ func (l *KeyedLimiter) Window() time.Duration { return l.window }
 
 // Allow records an attempt for key at now and reports whether it is within
 // the limit. Denied attempts are counted but not recorded as events (a
-// rejected request does not consume allowance).
+// rejected request does not consume allowance). Every keyedSweepEvery
+// calls the limiter sweeps out keys with no in-window events, so memory
+// tracks the recently active key set instead of growing forever.
 func (l *KeyedLimiter) Allow(key string, now time.Time) bool {
+	l.ops++
+	if l.ops >= keyedSweepEvery {
+		l.ops = 0
+		l.Sweep(now)
+	}
 	evs := l.events[key]
 	cutoff := now.Add(-l.window)
 	start := 0
@@ -110,19 +123,54 @@ func (l *KeyedLimiter) Allow(key string, now time.Time) bool {
 	return true
 }
 
-// Denials returns how many attempts were rejected for key.
+// Sweep drops every key whose event slice is empty once pruned to the
+// trailing window as of now. Evicted keys fold their denial counters into
+// an aggregate so TotalDenials stays exact; per-key Denials and
+// DeniedKeys cover only keys still tracked.
+func (l *KeyedLimiter) Sweep(now time.Time) {
+	cutoff := now.Add(-l.window)
+	for k, evs := range l.events {
+		start := 0
+		for start < len(evs) && !evs[start].After(cutoff) {
+			start++
+		}
+		if start == len(evs) {
+			delete(l.events, k)
+			l.evictedDenials += l.denials[k]
+			delete(l.denials, k)
+			continue
+		}
+		if start > 0 {
+			l.events[k] = evs[start:]
+		}
+	}
+	// A denial-only key never had events this window; it is stale too.
+	for k, n := range l.denials {
+		if _, live := l.events[k]; !live {
+			l.evictedDenials += n
+			delete(l.denials, k)
+		}
+	}
+}
+
+// TrackedKeys returns how many keys currently hold event state.
+func (l *KeyedLimiter) TrackedKeys() int { return len(l.events) }
+
+// Denials returns how many attempts were rejected for key since it was
+// last evicted as stale.
 func (l *KeyedLimiter) Denials(key string) int { return l.denials[key] }
 
-// TotalDenials sums rejections across keys.
+// TotalDenials sums rejections across keys, including evicted ones.
 func (l *KeyedLimiter) TotalDenials() int {
-	total := 0
+	total := l.evictedDenials
 	for _, n := range l.denials {
 		total += n
 	}
 	return total
 }
 
-// DeniedKeys returns all keys with at least one denial, sorted.
+// DeniedKeys returns all currently tracked keys with at least one denial,
+// sorted.
 func (l *KeyedLimiter) DeniedKeys() []string {
 	out := make([]string, 0, len(l.denials))
 	for k := range l.denials {

@@ -1,0 +1,82 @@
+package signal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"funabuse/internal/mitigate"
+)
+
+// The benchmarks contrast the sharded bucket-ring limiter with the
+// simulation-grade mitigate.KeyedLimiter serialised behind one mutex —
+// the exact structure the HTTP gate used before the signal engine.
+
+func BenchmarkShardedLimiterParallel(b *testing.B) {
+	l := NewLimiter(LimiterConfig{Window: time.Hour, Limit: 1000})
+	base := time.Date(2022, time.May, 2, 0, 0, 0, 0, time.UTC)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			l.Allow("key-"+itoa(i%512), base.Add(time.Duration(i)*time.Millisecond))
+			i++
+		}
+	})
+}
+
+func BenchmarkMutexKeyedLimiterParallel(b *testing.B) {
+	var mu sync.Mutex
+	l := mitigate.NewKeyedLimiter(time.Hour, 1000)
+	base := time.Date(2022, time.May, 2, 0, 0, 0, 0, time.UTC)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mu.Lock()
+			l.Allow("key-"+itoa(i%512), base.Add(time.Duration(i)*time.Millisecond))
+			mu.Unlock()
+			i++
+		}
+	})
+}
+
+func BenchmarkWindowAdd(b *testing.B) {
+	w := NewWindow(time.Hour, DefaultWindowBuckets)
+	base := time.Date(2022, time.May, 2, 0, 0, 0, 0, time.UTC)
+	for i := 0; b.Loop(); i++ {
+		w.Add(base.Add(time.Duration(i)*time.Millisecond), 1)
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	c := NewCountMin(2048, 4)
+	for i := 0; b.Loop(); i++ {
+		c.Add("key-"+itoa(i%4096), 1)
+	}
+}
+
+func BenchmarkDistinctAdd(b *testing.B) {
+	d := NewDistinct(DefaultDistinctPrecision)
+	for i := 0; b.Loop(); i++ {
+		d.Add("ip-" + itoa(i%100000))
+	}
+}
+
+func BenchmarkTopKOffer(b *testing.B) {
+	tk := NewTopK(32)
+	for i := 0; b.Loop(); i++ {
+		tk.Offer("key-"+itoa(i%4096), 1)
+	}
+}
+
+func BenchmarkEngineObserveAttr(b *testing.B) {
+	e := NewEngine(EngineConfig{SurgeStart: time.Date(2022, time.May, 2, 0, 0, 0, 0, time.UTC)})
+	base := time.Date(2022, time.May, 2, 0, 0, 0, 0, time.UTC)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			e.ObserveAttr("key-"+itoa(i%512), "ip-"+itoa(i%64),
+				base.Add(time.Duration(i)*time.Millisecond))
+			i++
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package signal
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is a sharded keyed sliding-window rate limiter: the concurrent,
+// memory-bounded replacement for serialising gate decisions behind one
+// mutex over per-key timestamp slices. Keys are lock-striped across
+// shards, each key's in-window count lives in a constant-size bucket ring
+// (see Window), and shards periodically evict keys with no in-window
+// events, so memory is proportional to the set of recently active keys.
+//
+// Semantics match mitigate.KeyedLimiter: at most limit events per key in
+// any trailing window, and a denied attempt is counted but does not
+// consume allowance. The only divergence is expiry granularity — events
+// age out within one bucket width of the exact window edge.
+//
+// Limiter is safe for concurrent use.
+type Limiter struct {
+	window  time.Duration
+	limit   int
+	buckets int
+	shards  []limiterShard
+	mask    uint64
+	denials atomic.Uint64
+}
+
+type limiterShard struct {
+	mu   sync.Mutex
+	keys map[string]*Window
+	ops  int
+	_    [24]byte // keep hot shard locks off one cache line
+}
+
+// LimiterConfig tunes a Limiter; the zero value of every optional field
+// selects a sensible default.
+type LimiterConfig struct {
+	// Window is the trailing window; non-positive means one hour.
+	Window time.Duration
+	// Limit is the per-key allowance per window; values < 1 are clamped.
+	Limit int
+	// Buckets is the expiry granularity (ring size per key); defaults to
+	// DefaultWindowBuckets.
+	Buckets int
+	// Shards is the lock-stripe count, rounded up to a power of two;
+	// defaults to DefaultShards.
+	Shards int
+}
+
+// DefaultShards is the default lock-stripe count for sharded containers.
+const DefaultShards = 16
+
+// sweepEvery is how many shard operations pass between idle-key sweeps.
+const sweepEvery = 1024
+
+// NewLimiter returns a sharded limiter.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Hour
+	}
+	if cfg.Limit < 1 {
+		cfg.Limit = 1
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = DefaultWindowBuckets
+	}
+	n := shardCount(cfg.Shards, DefaultShards)
+	l := &Limiter{
+		window:  cfg.Window,
+		limit:   cfg.Limit,
+		buckets: cfg.Buckets,
+		shards:  make([]limiterShard, n),
+		mask:    uint64(n - 1),
+	}
+	for i := range l.shards {
+		l.shards[i].keys = make(map[string]*Window)
+	}
+	return l
+}
+
+// Limit returns the per-window allowance.
+func (l *Limiter) Limit() int { return l.limit }
+
+// Window returns the trailing window.
+func (l *Limiter) Window() time.Duration { return l.window }
+
+// Allow records an attempt for key at now and reports whether it is
+// within the limit.
+func (l *Limiter) Allow(key string, now time.Time) bool {
+	s := &l.shards[hash64(key)&l.mask]
+	s.mu.Lock()
+	s.ops++
+	if s.ops >= sweepEvery {
+		s.ops = 0
+		sweepShard(s.keys, now)
+	}
+	w, ok := s.keys[key]
+	if !ok {
+		w = NewWindow(l.window, l.buckets)
+		s.keys[key] = w
+	}
+	allowed := w.Count(now) < l.limit
+	if allowed {
+		w.Add(now, 1)
+	}
+	s.mu.Unlock()
+	if !allowed {
+		l.denials.Add(1)
+	}
+	return allowed
+}
+
+// Count returns key's in-window event count as of now.
+func (l *Limiter) Count(key string, now time.Time) int {
+	s := &l.shards[hash64(key)&l.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.keys[key]
+	if !ok {
+		return 0
+	}
+	return w.Count(now)
+}
+
+// Denials returns how many attempts were rejected across all keys.
+func (l *Limiter) Denials() uint64 { return l.denials.Load() }
+
+// TrackedKeys returns how many keys currently hold window state, across
+// all shards.
+func (l *Limiter) TrackedKeys() int {
+	total := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		total += len(s.keys)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Sweep drops every key with no in-window events as of now. Shards also
+// sweep themselves automatically every sweepEvery operations.
+func (l *Limiter) Sweep(now time.Time) {
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		sweepShard(s.keys, now)
+		s.mu.Unlock()
+	}
+}
+
+// sweepShard removes idle keys from one shard map. Callers hold the shard
+// lock.
+func sweepShard(keys map[string]*Window, now time.Time) {
+	for k, w := range keys {
+		if w.Empty(now) {
+			delete(keys, k)
+		}
+	}
+}

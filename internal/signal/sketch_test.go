@@ -1,0 +1,212 @@
+package signal
+
+import (
+	"math"
+	"testing"
+
+	"funabuse/internal/simrand"
+)
+
+// zipfStream draws n keys from a Zipf-distributed key space of the given
+// size and returns the stream plus exact counts.
+func zipfStream(seed uint64, n, keys int, s float64) ([]string, map[string]int) {
+	rng := simrand.New(seed)
+	z := simrand.NewZipf(keys, s)
+	exact := make(map[string]int, keys)
+	stream := make([]string, 0, n)
+	for range n {
+		k := "key-" + itoa(z.Draw(rng))
+		stream = append(stream, k)
+		exact[k]++
+	}
+	return stream, exact
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	stream, exact := zipfStream(7, 200_000, 50_000, 1.1)
+	c := NewCountMin(2048, 4)
+	for _, k := range stream {
+		c.Add(k, 1)
+	}
+	if c.Total() != uint64(len(stream)) {
+		t.Fatalf("total %d, want %d", c.Total(), len(stream))
+	}
+	for k, want := range exact {
+		if got := c.Count(k); got < uint64(want) {
+			t.Fatalf("%s: estimate %d below true count %d", k, got, want)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	stream, exact := zipfStream(11, 200_000, 50_000, 1.1)
+	c := NewCountMin(2048, 4)
+	for _, k := range stream {
+		c.Add(k, 1)
+	}
+	// Each estimate exceeds the truth by at most εN = (e/width)·N with
+	// probability 1-δ, δ = e^-depth ≈ 1.8%. Check the violation rate
+	// stays well under a slack multiple of δ across tens of thousands of
+	// keys.
+	bound := uint64(math.Ceil(c.ErrorBound()))
+	violations := 0
+	for k, want := range exact {
+		if c.Count(k)-uint64(want) > bound {
+			violations++
+		}
+	}
+	if frac := float64(violations) / float64(len(exact)); frac > 0.05 {
+		t.Fatalf("%.2f%% of estimates exceed the εN bound, want <= 5%%",
+			frac*100)
+	}
+}
+
+func TestCountMinWithErrorSizing(t *testing.T) {
+	c := NewCountMinWithError(0.001, 0.01)
+	if c.Width() < 2719 {
+		t.Fatalf("width %d below e/ε", c.Width())
+	}
+	if c.Depth() < 5 {
+		t.Fatalf("depth %d below ln(1/δ)", c.Depth())
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a, b := NewCountMin(256, 3), NewCountMin(256, 3)
+	a.Add("x", 3)
+	b.Add("x", 4)
+	b.Add("y", 1)
+	if !a.Merge(b) {
+		t.Fatal("merge of identical shapes failed")
+	}
+	if got := a.Count("x"); got < 7 {
+		t.Fatalf("merged count %d, want >= 7", got)
+	}
+	if a.Merge(NewCountMin(128, 3)) {
+		t.Fatal("merge of mismatched shapes accepted")
+	}
+}
+
+func TestDistinctRelativeError(t *testing.T) {
+	rng := simrand.New(3)
+	for _, n := range []int{100, 1_000, 10_000, 100_000} {
+		d := NewDistinct(12)
+		seen := make(map[uint64]bool, n)
+		for len(seen) < n {
+			// Draw raw 64-bit items; duplicates must not move the
+			// estimate, so feed each item a few times.
+			h := rng.Uint64()
+			seen[h] = true
+			d.AddHash(h)
+			d.AddHash(h)
+		}
+		got := d.Estimate()
+		rel := math.Abs(got-float64(n)) / float64(n)
+		// Typical error is 1.04/sqrt(4096) ≈ 1.6%; allow 4 sigma.
+		if rel > 4*d.StdError() {
+			t.Fatalf("n=%d: estimate %.0f, relative error %.3f beyond 4σ",
+				n, got, rel)
+		}
+	}
+}
+
+func TestDistinctStringKeysAgainstExact(t *testing.T) {
+	// The rotation-detection shape: one fingerprint fanning out across
+	// residential exits, keys drawn as realistic dotted quads.
+	rng := simrand.New(9)
+	d := NewDistinct(12)
+	exact := make(map[string]bool)
+	for range 40_000 {
+		ip := itoa(rng.Intn(223)+1) + "." + itoa(rng.Intn(256)) + "." +
+			itoa(rng.Intn(256)) + "." + itoa(rng.Intn(256))
+		exact[ip] = true
+		d.Add(ip)
+	}
+	n := float64(len(exact))
+	rel := math.Abs(d.Estimate()-n) / n
+	if rel > 4*d.StdError() {
+		t.Fatalf("estimate %.0f vs exact %.0f, relative error %.3f",
+			d.Estimate(), n, rel)
+	}
+}
+
+func TestDistinctSmallRangeExact(t *testing.T) {
+	// Linear counting keeps tiny cardinalities near-exact — the regime
+	// where a distinct-IP threshold of ~8 must not false-fire on humans
+	// with one or two addresses.
+	d := NewDistinct(12)
+	d.Add("10.0.0.1")
+	d.Add("10.0.0.1")
+	d.Add("10.0.0.2")
+	if est := d.Estimate(); est < 1.5 || est > 2.5 {
+		t.Fatalf("estimate %.2f for 2 distinct items", est)
+	}
+}
+
+func TestDistinctMerge(t *testing.T) {
+	a, b := NewDistinct(10), NewDistinct(10)
+	for i := range 3000 {
+		a.Add("a" + itoa(i))
+		b.Add("b" + itoa(i))
+	}
+	union := NewDistinct(10)
+	if !union.Merge(a) || !union.Merge(b) {
+		t.Fatal("merge failed")
+	}
+	got := union.Estimate()
+	if got < 5000 || got > 7000 {
+		t.Fatalf("union estimate %.0f, want ~6000", got)
+	}
+	if a.Merge(NewDistinct(8)) {
+		t.Fatal("merge of mismatched precisions accepted")
+	}
+}
+
+func TestTopKFindsHeavyHitters(t *testing.T) {
+	stream, exact := zipfStream(5, 100_000, 10_000, 1.2)
+	tk := NewTopK(20)
+	for _, k := range stream {
+		tk.Offer(k, 1)
+	}
+	top := tk.Top(5)
+	if len(top) != 5 {
+		t.Fatalf("top returned %d entries", len(top))
+	}
+	// The Zipf head keys must be present and correctly ordered; the
+	// space-saving guarantee makes rank-1 exact for this skew.
+	if top[0].Key != "key-0" {
+		t.Fatalf("heaviest key %s, want key-0", top[0].Key)
+	}
+	for _, e := range top {
+		want := exact[e.Key]
+		if e.Count < uint64(want) {
+			t.Fatalf("%s: estimate %d below truth %d", e.Key, e.Count, want)
+		}
+		if e.Count-e.Err > uint64(want) {
+			t.Fatalf("%s: guaranteed floor %d above truth %d",
+				e.Key, e.Count-e.Err, want)
+		}
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Count < top[i].Count {
+			t.Fatal("top entries not sorted")
+		}
+	}
+}
+
+func TestTopKBoundedSize(t *testing.T) {
+	tk := NewTopK(8)
+	for i := range 100_000 {
+		tk.Offer("k"+itoa(i%1000), 1)
+	}
+	if len(tk.items) != 8 || len(tk.heap) != 8 {
+		t.Fatalf("table grew to %d/%d, want 8", len(tk.items), len(tk.heap))
+	}
+	if _, ok := tk.Count("k1"); !ok {
+		// Uniform stream: any key may be tracked, but asking must not
+		// lie about untracked ones.
+		if c, ok := tk.Count("definitely-missing"); ok || c != 0 {
+			t.Fatal("untracked key reported as tracked")
+		}
+	}
+}

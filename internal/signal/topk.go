@@ -1,0 +1,134 @@
+package signal
+
+import "sort"
+
+// TopEntry is one heavy hitter reported by TopK.
+type TopEntry struct {
+	Key string
+	// Count is the estimated frequency (never an undercount).
+	Count uint64
+	// Err bounds the overcount: the true frequency is at least Count-Err.
+	Err uint64
+}
+
+// TopK tracks the k most frequent keys of a stream with the space-saving
+// algorithm: exactly k counters regardless of the key space. When an
+// untracked key arrives and the table is full it replaces the minimum
+// counter, inheriting its count as the error bound. Any key whose true
+// frequency exceeds total/k is guaranteed to be tracked.
+//
+// TopK is not safe for concurrent use; Engine shards and locks around
+// per-shard tables.
+type TopK struct {
+	k     int
+	items map[string]*tkItem
+	heap  []*tkItem // min-heap on Count
+}
+
+type tkItem struct {
+	key   string
+	count uint64
+	err   uint64
+	pos   int // index in heap
+}
+
+// NewTopK returns a tracker for the k heaviest keys; k < 1 is clamped
+// to 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, items: make(map[string]*tkItem, k)}
+}
+
+// K returns the table capacity.
+func (t *TopK) K() int { return t.k }
+
+// Offer folds n occurrences of key into the tracker.
+func (t *TopK) Offer(key string, n uint64) {
+	if n == 0 {
+		return
+	}
+	if it, ok := t.items[key]; ok {
+		it.count += n
+		t.siftDown(it.pos)
+		return
+	}
+	if len(t.heap) < t.k {
+		it := &tkItem{key: key, count: n, pos: len(t.heap)}
+		t.items[key] = it
+		t.heap = append(t.heap, it)
+		t.siftUp(it.pos)
+		return
+	}
+	// Evict the minimum: the newcomer inherits its count as error.
+	min := t.heap[0]
+	delete(t.items, min.key)
+	t.items[key] = min
+	min.err = min.count
+	min.count += n
+	min.key = key
+	t.siftDown(0)
+}
+
+// Count returns the tracked estimate for key and whether key is tracked.
+func (t *TopK) Count(key string) (uint64, bool) {
+	it, ok := t.items[key]
+	if !ok {
+		return 0, false
+	}
+	return it.count, true
+}
+
+// Top returns the tracked keys sorted by descending count (ties by
+// ascending key), at most n entries; n <= 0 returns all tracked keys.
+func (t *TopK) Top(n int) []TopEntry {
+	out := make([]TopEntry, 0, len(t.heap))
+	for _, it := range t.heap {
+		out = append(out, TopEntry{Key: it.key, Count: it.count, Err: it.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].count <= t.heap[i].count {
+			return
+		}
+		t.swap(parent, i)
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(t.heap) && t.heap[l].count < t.heap[least].count {
+			least = l
+		}
+		if r := 2*i + 2; r < len(t.heap) && t.heap[r].count < t.heap[least].count {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		t.swap(least, i)
+		i = least
+	}
+}
+
+func (t *TopK) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.heap[i].pos = i
+	t.heap[j].pos = j
+}

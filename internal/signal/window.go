@@ -1,0 +1,103 @@
+package signal
+
+import "time"
+
+// Window is a sliding-window event counter over a ring of sub-window
+// buckets. Unlike a timestamp slice it uses constant memory regardless of
+// event rate: an event is folded into the bucket covering its instant and
+// the ring recycles buckets as time advances.
+//
+// The trade-off is expiry granularity: with B buckets over window W, an
+// event stops counting somewhere in (W - W/B, W] after it happened rather
+// than at exactly W. Counts are therefore never stale by more than one
+// bucket width, and never over-counted beyond the true trailing window.
+// Window is not safe for concurrent use; Limiter and Engine shard and lock
+// around it.
+type Window struct {
+	width   time.Duration
+	buckets int
+	counts  []uint32
+	nums    []int64 // absolute bucket number stored in each slot
+}
+
+// DefaultWindowBuckets is the default ring size: expiry granularity of
+// ~3% of the window.
+const DefaultWindowBuckets = 32
+
+// NewWindow returns a counter over the trailing window split into the
+// given number of ring buckets. Non-positive arguments fall back to one
+// hour and DefaultWindowBuckets.
+func NewWindow(window time.Duration, buckets int) *Window {
+	if window <= 0 {
+		window = time.Hour
+	}
+	if buckets <= 0 {
+		buckets = DefaultWindowBuckets
+	}
+	width := window / time.Duration(buckets)
+	if width <= 0 {
+		width = 1
+	}
+	return &Window{
+		width:   width,
+		buckets: buckets,
+		counts:  make([]uint32, buckets),
+		nums:    make([]int64, buckets),
+	}
+}
+
+// Span returns the nominal trailing window (bucket width times ring size).
+func (w *Window) Span() time.Duration {
+	return w.width * time.Duration(w.buckets)
+}
+
+// Add folds n events at the given instant into the ring.
+func (w *Window) Add(now time.Time, n int) {
+	if n <= 0 {
+		return
+	}
+	num := bucketIndex(now, w.width)
+	slot := int(num % int64(w.buckets))
+	if slot < 0 {
+		slot += w.buckets
+	}
+	if w.nums[slot] != num {
+		w.counts[slot] = 0
+		w.nums[slot] = num
+	}
+	w.counts[slot] += uint32(n)
+}
+
+// Count returns the number of events within the trailing window as of now.
+func (w *Window) Count(now time.Time) int {
+	num := bucketIndex(now, w.width)
+	oldest := num - int64(w.buckets) + 1
+	total := 0
+	for i, c := range w.counts {
+		if c != 0 && w.nums[i] >= oldest && w.nums[i] <= num {
+			total += int(c)
+		}
+	}
+	return total
+}
+
+// Empty reports whether no in-window events remain as of now. It is the
+// eviction predicate sharded containers use to drop idle keys.
+func (w *Window) Empty(now time.Time) bool {
+	num := bucketIndex(now, w.width)
+	oldest := num - int64(w.buckets) + 1
+	for i, c := range w.counts {
+		if c != 0 && w.nums[i] >= oldest && w.nums[i] <= num {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all buckets.
+func (w *Window) Reset() {
+	for i := range w.counts {
+		w.counts[i] = 0
+		w.nums[i] = 0
+	}
+}

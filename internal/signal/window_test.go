@@ -1,0 +1,141 @@
+package signal
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, time.May, 2, 0, 0, 0, 0, time.UTC)
+
+func TestWindowCountsWithinWindow(t *testing.T) {
+	w := NewWindow(time.Hour, 60)
+	w.Add(t0, 1)
+	w.Add(t0.Add(10*time.Minute), 2)
+	if got := w.Count(t0.Add(10 * time.Minute)); got != 3 {
+		t.Fatalf("count %d, want 3", got)
+	}
+}
+
+func TestWindowExpiresOldEvents(t *testing.T) {
+	w := NewWindow(time.Hour, 60)
+	w.Add(t0, 5)
+	if got := w.Count(t0.Add(59 * time.Minute)); got != 5 {
+		t.Fatalf("in-window count %d, want 5", got)
+	}
+	if got := w.Count(t0.Add(61 * time.Minute)); got != 0 {
+		t.Fatalf("expired count %d, want 0", got)
+	}
+	if !w.Empty(t0.Add(61 * time.Minute)) {
+		t.Fatal("window not empty after expiry")
+	}
+}
+
+func TestWindowExpiryGranularity(t *testing.T) {
+	// An event must never outlive the nominal window by more than zero
+	// and never die more than one bucket width early.
+	const buckets = 32
+	w := NewWindow(time.Hour, buckets)
+	width := time.Hour / buckets
+	w.Add(t0, 1)
+	if got := w.Count(t0.Add(time.Hour - width)); got != 1 {
+		t.Fatalf("event expired %v early", width)
+	}
+	if got := w.Count(t0.Add(time.Hour)); got != 0 {
+		t.Fatal("event outlived the nominal window")
+	}
+}
+
+func TestWindowRingRecyclesBuckets(t *testing.T) {
+	w := NewWindow(time.Hour, 4)
+	// Fill every bucket, then wrap far past the ring: stale slots must be
+	// recycled, not double counted.
+	for i := range 8 {
+		w.Add(t0.Add(time.Duration(i)*15*time.Minute), 1)
+	}
+	at := t0.Add(8 * 15 * time.Minute)
+	if got := w.Count(at); got > 4 {
+		t.Fatalf("count %d exceeds ring capacity window", got)
+	}
+	w.Reset()
+	if got := w.Count(at); got != 0 {
+		t.Fatalf("count after reset %d", got)
+	}
+}
+
+func TestWindowConstantMemory(t *testing.T) {
+	// The motivating property: a million events cost no more state than
+	// the ring itself.
+	w := NewWindow(time.Minute, 16)
+	at := t0
+	for range 1_000_000 {
+		w.Add(at, 1)
+		at = at.Add(time.Millisecond)
+	}
+	if len(w.counts) != 16 || len(w.nums) != 16 {
+		t.Fatalf("ring grew: %d/%d slots", len(w.counts), len(w.nums))
+	}
+}
+
+func TestLimiterMatchesKeyedLimiterSemantics(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Window: time.Hour, Limit: 2, Buckets: 60})
+	for i := range 2 {
+		if !l.Allow("k", t0) {
+			t.Fatalf("attempt %d denied", i)
+		}
+	}
+	if l.Allow("k", t0) {
+		t.Fatal("over-limit attempt allowed")
+	}
+	if l.Denials() != 1 {
+		t.Fatalf("denials %d, want 1", l.Denials())
+	}
+	// Independent keys.
+	if !l.Allow("other", t0) {
+		t.Fatal("independent key denied")
+	}
+	// Denied attempts do not consume allowance: after the window slides,
+	// the full allowance is back.
+	if !l.Allow("k", t0.Add(61*time.Minute)) {
+		t.Fatal("window did not slide")
+	}
+}
+
+func TestLimiterEvictsIdleKeys(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Window: time.Minute, Limit: 5})
+	for i := range 3000 {
+		l.Allow("k"+itoa(i), t0)
+	}
+	if l.TrackedKeys() == 0 {
+		t.Fatal("no keys tracked")
+	}
+	l.Sweep(t0.Add(2 * time.Minute))
+	if got := l.TrackedKeys(); got != 0 {
+		t.Fatalf("%d stale keys survived an explicit sweep", got)
+	}
+	// The automatic per-shard sweep fires after enough operations on a
+	// shard; spread fresh traffic across keys so every stripe gets ops.
+	for i := range 3000 {
+		l.Allow("old"+itoa(i), t0.Add(3*time.Minute))
+	}
+	for i := range 60000 {
+		at := t0.Add(10*time.Minute + time.Duration(i)*time.Second)
+		l.Allow("fresh"+itoa(i%64), at)
+	}
+	if got := l.TrackedKeys(); got > 200 {
+		t.Fatalf("%d keys tracked after automatic sweeps, want bounded", got)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
