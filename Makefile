@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench bench-smoke
 
-# The full pre-merge gate: vet, build, and the test suite under the race
-# detector (the signal engine, httpgate and detect monitors are concurrent).
-check: vet build race
+# The full pre-merge gate: vet, build, the test suite under the race
+# detector (the replicate runner, signal engine, httpgate and detect
+# monitors are concurrent), and a one-iteration benchmark compile+run.
+check: vet build race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,5 +19,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench writes the full benchmark sweep (3 samples per benchmark, with
+# allocation stats) as machine-readable go-test JSON for regression
+# tracking across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > BENCH_PR2.json
+
+# bench-smoke proves every benchmark still compiles and completes without
+# measuring anything (one iteration each).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...

@@ -10,6 +10,7 @@ import (
 	"funabuse/internal/fingerprint"
 	"funabuse/internal/geo"
 	"funabuse/internal/names"
+	"funabuse/internal/runner"
 	"funabuse/internal/simclock"
 	"funabuse/internal/simrand"
 	"funabuse/internal/sms"
@@ -23,6 +24,7 @@ import (
 // BenchmarkFig1NiPDistribution regenerates Fig. 1 (three weeks of traffic,
 // attack, cap, adaptation).
 func BenchmarkFig1NiPDistribution(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunFig1(core.DefaultFig1Config(uint64(i + 1)))
 		if err != nil {
@@ -37,6 +39,7 @@ func BenchmarkFig1NiPDistribution(b *testing.B) {
 // BenchmarkTable1SMSSurge regenerates Table I (two weeks: baseline plus
 // pumping campaign, surge analysis).
 func BenchmarkTable1SMSSurge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunTable1(core.DefaultTable1Config(uint64(i + 1)))
 		if err != nil {
@@ -51,6 +54,7 @@ func BenchmarkTable1SMSSurge(b *testing.B) {
 // BenchmarkCaseARotationWar regenerates the case A statistics (17 days of
 // traffic with an adaptive defender and rotating attacker).
 func BenchmarkCaseARotationWar(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunCaseA(core.DefaultCaseAConfig(uint64(i + 1)))
 		if err != nil {
@@ -65,6 +69,7 @@ func BenchmarkCaseARotationWar(b *testing.B) {
 // BenchmarkCaseBNamePatterns regenerates the case B comparison (three days
 // of mixed traffic, name-pattern analysis).
 func BenchmarkCaseBNamePatterns(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunCaseB(uint64(i + 1))
 		if err != nil {
@@ -79,6 +84,7 @@ func BenchmarkCaseBNamePatterns(b *testing.B) {
 // BenchmarkCaseCBoardingPass regenerates the case C rate-limit ablation
 // (five postures, two weeks each).
 func BenchmarkCaseCBoardingPass(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunCaseC(uint64(i + 1))
 		if err != nil {
@@ -93,6 +99,7 @@ func BenchmarkCaseCBoardingPass(b *testing.B) {
 // BenchmarkDetectorComparison regenerates the Section III detector
 // comparison (three days of four-class traffic, six detectors).
 func BenchmarkDetectorComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunDetectionComparison(uint64(i + 1))
 		if err != nil {
@@ -107,6 +114,7 @@ func BenchmarkDetectorComparison(b *testing.B) {
 // BenchmarkHoneypotEconomics regenerates the Section V honeypot comparison
 // (two one-week arms).
 func BenchmarkHoneypotEconomics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunHoneypot(uint64(i + 1))
 		if err != nil {
@@ -121,6 +129,7 @@ func BenchmarkHoneypotEconomics(b *testing.B) {
 // BenchmarkEconomicDeterrent regenerates the Section V economic sweeps
 // (seven three-day campaigns).
 func BenchmarkEconomicDeterrent(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunEconomics(uint64(i + 1))
 		if err != nil {
@@ -135,6 +144,7 @@ func BenchmarkEconomicDeterrent(b *testing.B) {
 // BenchmarkBiometricDetection regenerates the Section V future-work
 // experiment (per-reservation behavioural biometrics, four classes).
 func BenchmarkBiometricDetection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunBiometric(uint64(i + 1))
 		if err != nil {
@@ -149,6 +159,7 @@ func BenchmarkBiometricDetection(b *testing.B) {
 // BenchmarkAblations regenerates the design-choice studies (hold TTL,
 // block-rule granularity, sessionization gap).
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunAblations(uint64(i + 1))
 		if err != nil {
@@ -163,6 +174,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkCarrierMitigation regenerates the settlement-chain mitigation
 // study (one campaign settled under three compensation policies).
 func BenchmarkCarrierMitigation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunCarrier(uint64(i + 1))
 		if err != nil {
@@ -177,6 +189,7 @@ func BenchmarkCarrierMitigation(b *testing.B) {
 // BenchmarkPriceDistortion regenerates the Section II-A fare-manipulation
 // study (two weeks, hourly fare sampling).
 func BenchmarkPriceDistortion(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
 		res, err := core.RunPricing(uint64(i + 1))
 		if err != nil {
@@ -192,6 +205,7 @@ func BenchmarkPriceDistortion(b *testing.B) {
 // virtual time the scenario benchmarks can cover per wall-clock second.
 
 func BenchmarkBookingHoldExpireCycle(b *testing.B) {
+	b.ReportAllocs()
 	clock := simclock.NewManual(core.SimStart)
 	sys := booking.NewSystem(clock, simrand.New(1), booking.DefaultConfig())
 	sys.AddFlight(booking.Flight{ID: "F", Capacity: 1 << 30, Departure: core.SimStart.AddDate(1000, 0, 0)})
@@ -207,6 +221,7 @@ func BenchmarkBookingHoldExpireCycle(b *testing.B) {
 }
 
 func BenchmarkFingerprintGenerate(b *testing.B) {
+	b.ReportAllocs()
 	g := fingerprint.NewGenerator(simrand.New(1))
 	for b.Loop() {
 		_ = g.Organic()
@@ -214,6 +229,7 @@ func BenchmarkFingerprintGenerate(b *testing.B) {
 }
 
 func BenchmarkFingerprintHash(b *testing.B) {
+	b.ReportAllocs()
 	f := fingerprint.NewGenerator(simrand.New(1)).Organic()
 	b.ResetTimer()
 	for b.Loop() {
@@ -222,6 +238,7 @@ func BenchmarkFingerprintHash(b *testing.B) {
 }
 
 func BenchmarkFingerprintValidate(b *testing.B) {
+	b.ReportAllocs()
 	f := fingerprint.NewGenerator(simrand.New(1)).Organic()
 	b.ResetTimer()
 	for b.Loop() {
@@ -230,6 +247,7 @@ func BenchmarkFingerprintValidate(b *testing.B) {
 }
 
 func BenchmarkSMSSend(b *testing.B) {
+	b.ReportAllocs()
 	clock := simclock.NewManual(core.SimStart)
 	gw := sms.NewGateway(clock, geo.Default())
 	to := geo.PlanFor(geo.Default().MustLookup("UZ")).Random(simrand.New(1))
@@ -242,6 +260,7 @@ func BenchmarkSMSSend(b *testing.B) {
 }
 
 func BenchmarkSessionize(b *testing.B) {
+	b.ReportAllocs()
 	requests := synthRequests(20000)
 	b.ResetTimer()
 	for b.Loop() {
@@ -250,6 +269,7 @@ func BenchmarkSessionize(b *testing.B) {
 }
 
 func BenchmarkFeatureExtract(b *testing.B) {
+	b.ReportAllocs()
 	requests := synthRequests(2000)
 	sessions := weblog.Sessionize(requests, weblog.DefaultSessionGap)
 	b.ResetTimer()
@@ -261,12 +281,14 @@ func BenchmarkFeatureExtract(b *testing.B) {
 }
 
 func BenchmarkDamerauLevenshtein(b *testing.B) {
+	b.ReportAllocs()
 	for b.Loop() {
 		_ = names.DamerauLevenshtein("CHRISTOPHER ALEXANDER", "CHRISTOPER ALEXANDRE")
 	}
 }
 
 func BenchmarkNamePatternAnalyze(b *testing.B) {
+	b.ReportAllocs()
 	records := synthRecords(5000)
 	det := detect.NewNamePatternDetector(detect.NamePatternConfig{})
 	b.ResetTimer()
@@ -276,6 +298,7 @@ func BenchmarkNamePatternAnalyze(b *testing.B) {
 }
 
 func BenchmarkNiPDriftCompare(b *testing.B) {
+	b.ReportAllocs()
 	records := synthRecords(5000)
 	drift := detect.NewNiPDrift(records, 9)
 	b.ResetTimer()
@@ -320,4 +343,49 @@ func synthRecords(n int) []booking.Record {
 		})
 	}
 	return out
+}
+
+// Replicate-runner benchmarks: the cost of a seed sweep through the worker
+// pool, the execution mode the industrial evaluation runs in.
+
+// BenchmarkReplicateSweep runs the cheapest full experiment for 8
+// consecutive seeds per iteration on a GOMAXPROCS-sized pool, measuring
+// sweep throughput end-to-end (scenario builds, simulation, merge).
+func BenchmarkReplicateSweep(b *testing.B) {
+	b.ReportAllocs()
+	fn, ok := core.ExperimentByID("ablations")
+	if !ok {
+		b.Fatal("ablations experiment missing")
+	}
+	for i := 0; b.Loop(); i++ {
+		sum, err := runner.Run("ablations", runner.Config{
+			Replicates: 8,
+			BaseSeed:   uint64(8*i + 1),
+		}, fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sum.Stats) == 0 {
+			b.Fatal("no stats merged")
+		}
+	}
+}
+
+// Clock micro-benchmarks: Manual sits on every event dispatch, so its
+// read/advance costs bound scheduler throughput.
+
+func BenchmarkManualClockNow(b *testing.B) {
+	b.ReportAllocs()
+	clock := simclock.NewManual(core.SimStart)
+	for b.Loop() {
+		_ = clock.Now()
+	}
+}
+
+func BenchmarkManualClockAdvance(b *testing.B) {
+	b.ReportAllocs()
+	clock := simclock.NewManual(core.SimStart)
+	for b.Loop() {
+		_ = clock.Advance(time.Microsecond)
+	}
 }

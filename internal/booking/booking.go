@@ -212,15 +212,14 @@ func (s *System) RequestHold(req HoldRequest) (*Hold, error) {
 	s.ExpireDue(now)
 
 	nip := len(req.Passengers)
-	record := func(out Outcome, id HoldID) {
-		r := Record{
+	// passengers is the single defensive copy of the request's identities;
+	// the accepted journal record, the Hold and any Ticket confirmed from it
+	// all share this immutable backing array.
+	record := func(out Outcome, id HoldID, passengers []names.Identity) {
+		s.journal = append(s.journal, Record{
 			Time: now, Flight: req.Flight, NiP: nip, Outcome: out,
-			ActorID: req.ActorID, HoldID: id,
-		}
-		if out == OutcomeAccepted {
-			r.Passengers = append([]names.Identity(nil), req.Passengers...)
-		}
-		s.journal = append(s.journal, r)
+			ActorID: req.ActorID, HoldID: id, Passengers: passengers,
+		})
 	}
 
 	fs, ok := s.flights[req.Flight]
@@ -228,35 +227,36 @@ func (s *System) RequestHold(req HoldRequest) (*Hold, error) {
 		return nil, ErrFlightNotFound
 	}
 	if nip < 1 {
-		record(OutcomeRejectedInvalid, 0)
+		record(OutcomeRejectedInvalid, 0, nil)
 		return nil, ErrNiPInvalid
 	}
 	if !now.Before(fs.flight.Departure) {
-		record(OutcomeRejectedDeparted, 0)
+		record(OutcomeRejectedDeparted, 0, nil)
 		return nil, ErrFlightDeparted
 	}
 	if nip > s.cfg.MaxNiP {
-		record(OutcomeRejectedCap, 0)
+		record(OutcomeRejectedCap, 0, nil)
 		return nil, fmt.Errorf("%w: %d > %d", ErrNiPCapExceeded, nip, s.cfg.MaxNiP)
 	}
 	if fs.held+fs.sold+nip > fs.flight.Capacity {
-		record(OutcomeRejectedStock, 0)
+		record(OutcomeRejectedStock, 0, nil)
 		return nil, ErrInsufficientStock
 	}
 
 	s.nextID++
+	passengers := append([]names.Identity(nil), req.Passengers...)
 	h := &Hold{
 		ID:         s.nextID,
 		Flight:     req.Flight,
 		NiP:        nip,
-		Passengers: append([]names.Identity(nil), req.Passengers...),
+		Passengers: passengers,
 		CreatedAt:  now,
 		ExpiresAt:  now.Add(s.cfg.HoldTTL),
 		ActorID:    req.ActorID,
 	}
 	fs.held += nip
 	s.holds[h.ID] = h
-	record(OutcomeAccepted, h.ID)
+	record(OutcomeAccepted, h.ID, passengers)
 	return h, nil
 }
 

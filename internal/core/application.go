@@ -83,6 +83,8 @@ type Application struct {
 	// fpSeen retains every distinct fingerprint presented, keyed by hash,
 	// for offline analysis (the weblog stores hashes only).
 	fpSeen map[uint64]fingerprint.Fingerprint
+	// keyScratch is reused to assemble blocklist keys in screen.
+	keyScratch []byte
 
 	stats Stats
 }
@@ -261,9 +263,25 @@ func (a *Application) screen(ctx app.ClientContext, method, path string) error {
 	a.stats.Requests++
 	now := a.clock.Now()
 	if a.cfg.Blocklists {
-		if a.blocks.Blocked("fp:"+strconv.FormatUint(ctx.Fingerprint.Hash(), 16), now) ||
-			a.blocks.Blocked("ip:"+string(ctx.IP), now) ||
-			a.blocks.Blocked("ck:"+ctx.ClientKey, now) {
+		// Candidate keys are assembled in a reused scratch buffer and
+		// probed with BlockedBytes, so screening a clean request costs no
+		// allocations. Application serves one scenario goroutine, so the
+		// scratch field needs no synchronisation (stats fields likewise).
+		buf := append(a.keyScratch[:0], "fp:"...)
+		buf = strconv.AppendUint(buf, ctx.Fingerprint.Hash(), 16)
+		blocked := a.blocks.BlockedBytes(buf, now)
+		if !blocked {
+			buf = append(buf[:0], "ip:"...)
+			buf = append(buf, ctx.IP...)
+			blocked = a.blocks.BlockedBytes(buf, now)
+		}
+		if !blocked {
+			buf = append(buf[:0], "ck:"...)
+			buf = append(buf, ctx.ClientKey...)
+			blocked = a.blocks.BlockedBytes(buf, now)
+		}
+		a.keyScratch = buf
+		if blocked {
 			a.stats.Blocked++
 			a.record(ctx, method, path, 403)
 			return app.ErrBlocked

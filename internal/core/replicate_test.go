@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"funabuse/internal/runner"
+)
+
+// TestExperimentRegistry checks the id table is complete and consistent.
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Run == nil {
+			t.Fatalf("%s: nil replicate func", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if fn, ok := ExperimentByID(e.ID); !ok || fn == nil {
+			t.Fatalf("ExperimentByID(%q) missing", e.ID)
+		}
+	}
+	if _, ok := ExperimentByID("nonsense"); ok {
+		t.Fatal("ExperimentByID accepted unknown id")
+	}
+}
+
+// TestReplicateMetricNamesStable runs one cheap experiment at two seeds and
+// requires identical metric name sequences — the property that lets the
+// runner merge samples into per-metric accumulators.
+func TestReplicateMetricNamesStable(t *testing.T) {
+	names := func(s runner.Sample) []string {
+		out := make([]string, len(s))
+		for i, m := range s {
+			out[i] = m.Name
+		}
+		return out
+	}
+	a, err := ReplicateBiometric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplicateBiometric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names(a), names(b)) {
+		t.Fatalf("metric names vary across seeds:\nseed 1: %v\nseed 2: %v", names(a), names(b))
+	}
+}
+
+// TestReplicateParallelMatchesSerial is the golden equivalence check of the
+// replicate runner: every experiment, run for seeds 1..4 on one worker and
+// on four, must produce bit-identical samples and statistics. Any
+// nondeterminism an experiment picks up from pool interleaving — shared
+// mutable state, map-iteration-order leakage into RNG or scheduling — shows
+// up here as a diff.
+func TestReplicateParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serial-vs-parallel sweep in -short mode")
+	}
+	cfgSerial := runner.Config{Replicates: 4, Workers: 1, BaseSeed: 1}
+	cfgParallel := runner.Config{Replicates: 4, Workers: 4, BaseSeed: 1}
+	for _, e := range Experiments() {
+		serial, err := runner.Run(e.ID, cfgSerial, e.Run)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.ID, err)
+		}
+		parallel, err := runner.Run(e.ID, cfgParallel, e.Run)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.ID, err)
+		}
+		if !reflect.DeepEqual(serial.Samples, parallel.Samples) {
+			t.Errorf("%s: parallel samples differ from serial", e.ID)
+		}
+		if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+			t.Errorf("%s: parallel stats differ from serial", e.ID)
+		}
+	}
+}

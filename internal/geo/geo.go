@@ -80,6 +80,11 @@ func (c Country) HighCost() bool { return c.TerminationUSD >= 0.10 }
 type Registry struct {
 	byCode map[string]Country
 	codes  []string // sorted for deterministic iteration
+	// byPrefix resolves a dial prefix to its country in O(1). Prefixes
+	// shared between countries (the NANP "1" for US/CA) resolve to the
+	// smallest ISO code so that number attribution is deterministic.
+	byPrefix  map[string]Country
+	maxPrefix int
 }
 
 // NewRegistry builds a registry from the given countries. Duplicate codes
@@ -98,7 +103,20 @@ func NewRegistry(countries []Country) (*Registry, error) {
 		codes = append(codes, c.Code)
 	}
 	sort.Strings(codes)
-	return &Registry{byCode: byCode, codes: codes}, nil
+	// Build the prefix table in sorted-code order so that a shared dial
+	// prefix always resolves to the same (smallest) code.
+	byPrefix := make(map[string]Country, len(countries))
+	maxPrefix := 0
+	for _, code := range codes {
+		c := byCode[code]
+		if _, shared := byPrefix[c.DialPrefix]; !shared {
+			byPrefix[c.DialPrefix] = c
+		}
+		if len(c.DialPrefix) > maxPrefix {
+			maxPrefix = len(c.DialPrefix)
+		}
+	}
+	return &Registry{byCode: byCode, codes: codes, byPrefix: byPrefix, maxPrefix: maxPrefix}, nil
 }
 
 // Default returns the built-in registry of destination markets. It includes

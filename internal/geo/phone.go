@@ -73,26 +73,20 @@ func (p NumberPlan) IsPremium(n MSISDN) bool {
 }
 
 // CountryOf resolves a number to its country by longest-prefix match over
-// the registry's dial prefixes.
+// the registry's dial prefixes. Resolution walks candidate prefixes from
+// longest to shortest, so it costs at most maxPrefix map probes and zero
+// allocations — this sits on the per-message path of every gateway send.
+// Shared prefixes (the NANP "1") resolve to the smallest ISO code, which
+// keeps attribution deterministic under concurrent replicates.
 func (r *Registry) CountryOf(n MSISDN) (Country, bool) {
 	s := string(n)
-	var best Country
-	bestLen := -1
-	for _, c := range r.byCode {
-		if strings.HasPrefix(s, c.DialPrefix) && len(c.DialPrefix) > bestLen {
-			// The NANP prefix "1" is shared (US/CA); longest match with a
-			// deterministic tie-break on code keeps resolution stable.
-			if len(c.DialPrefix) == bestLen && best.Code < c.Code {
-				continue
-			}
-			best = c
-			bestLen = len(c.DialPrefix)
+	l := min(r.maxPrefix, len(s))
+	for ; l > 0; l-- {
+		if c, ok := r.byPrefix[s[:l]]; ok {
+			return c, true
 		}
 	}
-	if bestLen < 0 {
-		return Country{}, false
-	}
-	return best, true
+	return Country{}, false
 }
 
 // FormatE164 renders the number with a leading "+".

@@ -1,6 +1,16 @@
 // Package metrics provides the small measurement toolkit the experiment
 // harness reports with: counters, keyed counters, running moments,
 // duration histograms and fixed-width text tables.
+//
+// Concurrency contract: unless a type documents otherwise, the types in
+// this package are NOT safe for concurrent use. Counter, KeyedCounter,
+// Running and DurationStats are single-goroutine accumulators — the
+// deterministic simulation model is single-threaded virtual time, and the
+// hot loops that feed them must not pay for synchronisation they do not
+// need. Code that accumulates from several goroutines (the replicate
+// runner's worker pool) uses the sharded variants in sharded.go
+// (ShardedKeyedCounter, ShardedRunning), which are safe for concurrent
+// use and merge into the plain types for reporting.
 package metrics
 
 import (
@@ -29,7 +39,9 @@ func (c *Counter) Add(delta int) {
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n }
 
-// KeyedCounter counts events per string key.
+// KeyedCounter counts events per string key. It is a bare map underneath
+// and must only be used from one goroutine at a time (see the package
+// concurrency contract); use ShardedKeyedCounter where writers race.
 type KeyedCounter struct {
 	counts map[string]uint64
 }
@@ -74,6 +86,8 @@ func (k *KeyedCounter) Snapshot() map[string]uint64 {
 }
 
 // Running accumulates mean and variance online (Welford's algorithm).
+// It is single-goroutine like the rest of the package; concurrent
+// accumulation goes through ShardedRunning and merges back with Merge.
 type Running struct {
 	n    int
 	mean float64
@@ -116,6 +130,31 @@ func (r *Running) Variance() float64 {
 
 // Std returns the population standard deviation.
 func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge folds another accumulator into r as if every sample observed by
+// other had been observed by r (Chan et al.'s parallel variance update).
+// The result is independent of merge order up to floating-point rounding.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	n1, n2 := float64(r.n), float64(other.n)
+	d := other.mean - r.mean
+	n := n1 + n2
+	r.mean += d * n2 / n
+	r.m2 += other.m2 + d*d*n1*n2/n
+	r.n += other.n
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
 
 // Min returns the smallest sample (0 with no samples).
 func (r *Running) Min() float64 { return r.min }

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestShardedKeyedCounterConcurrent hammers the counter from many
+// goroutines; run under -race it is the concurrency-contract test the
+// unsharded KeyedCounter cannot pass.
+func TestShardedKeyedCounterConcurrent(t *testing.T) {
+	c := NewShardedKeyedCounter()
+	const (
+		workers = 16
+		perKey  = 500
+		keys    = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := "k" + strconv.Itoa(k)
+				for i := 0; i < perKey; i++ {
+					c.Inc(key)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for k := 0; k < keys; k++ {
+		key := "k" + strconv.Itoa(k)
+		if got := c.Get(key); got != workers*perKey {
+			t.Fatalf("Get(%s) = %d, want %d", key, got, workers*perKey)
+		}
+	}
+	if got := c.Total(); got != workers*perKey*keys {
+		t.Fatalf("Total() = %d, want %d", got, workers*perKey*keys)
+	}
+	snap := c.Snapshot()
+	if len(snap) != keys {
+		t.Fatalf("Snapshot has %d keys, want %d", len(snap), keys)
+	}
+}
+
+func TestShardedKeyedCounterIgnoresNonPositive(t *testing.T) {
+	c := NewShardedKeyedCounter()
+	c.Add("k", -3)
+	c.Add("k", 0)
+	if got := c.Get("k"); got != 0 {
+		t.Fatalf("Get after non-positive Add = %d, want 0", got)
+	}
+}
+
+// TestShardedRunningConcurrent checks the merged moments match a serial
+// Running over the same samples (exact for count/min/max/mean-sum, within
+// rounding for variance).
+func TestShardedRunningConcurrent(t *testing.T) {
+	sr := NewShardedRunning()
+	const (
+		workers = 8
+		per     = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sr.ObserveAt(w, float64(w*per+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var want Running
+	for v := 0; v < workers*per; v++ {
+		want.Observe(float64(v))
+	}
+	got := sr.Summary()
+	if got.N() != want.N() {
+		t.Fatalf("N = %d, want %d", got.N(), want.N())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Fatalf("min/max = %v/%v, want %v/%v", got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	if math.Abs(got.Mean()-want.Mean()) > 1e-9*want.Mean() {
+		t.Fatalf("mean = %v, want %v", got.Mean(), want.Mean())
+	}
+	if math.Abs(got.Std()-want.Std()) > 1e-6*want.Std() {
+		t.Fatalf("std = %v, want %v", got.Std(), want.Std())
+	}
+}
+
+// TestRunningMerge checks the pairwise merge against one serial pass, in
+// both merge orders and with empty operands.
+func TestRunningMerge(t *testing.T) {
+	samples := []float64{3, -1, 4, 1, 5, -9, 2.5, 6, 5.5, 3.5}
+	var whole Running
+	for _, v := range samples {
+		whole.Observe(v)
+	}
+	for split := 0; split <= len(samples); split++ {
+		var a, b Running
+		for _, v := range samples[:split] {
+			a.Observe(v)
+		}
+		for _, v := range samples[split:] {
+			b.Observe(v)
+		}
+		merged := a
+		merged.Merge(b)
+		if merged.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, merged.N(), whole.N())
+		}
+		if math.Abs(merged.Mean()-whole.Mean()) > 1e-12 {
+			t.Fatalf("split %d: mean = %v, want %v", split, merged.Mean(), whole.Mean())
+		}
+		if math.Abs(merged.Variance()-whole.Variance()) > 1e-9 {
+			t.Fatalf("split %d: variance = %v, want %v", split, merged.Variance(), whole.Variance())
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("split %d: min/max mismatch", split)
+		}
+	}
+}

@@ -61,17 +61,40 @@ func (b *BlockList) Blocked(key string, now time.Time) bool {
 		return false
 	}
 	if !expiry.IsZero() && expiry.Before(now) {
-		b.mu.Lock()
-		// Re-check under the write lock: the rule may have been
-		// refreshed since the read.
-		if cur, ok := b.entries[key]; ok && !cur.IsZero() && cur.Before(now) {
-			delete(b.entries, key)
-		}
-		b.mu.Unlock()
+		b.pruneExpired(key, now)
 		return false
 	}
 	b.hits.Add(1)
 	return true
+}
+
+// BlockedBytes is Blocked for a key assembled in a reusable byte buffer.
+// The lookup neither retains nor allocates a string, so per-request
+// screening can build candidate keys into scratch space; a string is
+// materialised only on the rare expired-rule prune.
+func (b *BlockList) BlockedBytes(key []byte, now time.Time) bool {
+	b.mu.RLock()
+	expiry, ok := b.entries[string(key)]
+	b.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	if !expiry.IsZero() && expiry.Before(now) {
+		b.pruneExpired(string(key), now)
+		return false
+	}
+	b.hits.Add(1)
+	return true
+}
+
+// pruneExpired deletes key if it is still expired, re-checking under the
+// write lock because the rule may have been refreshed since the read.
+func (b *BlockList) pruneExpired(key string, now time.Time) {
+	b.mu.Lock()
+	if cur, ok := b.entries[key]; ok && !cur.IsZero() && cur.Before(now) {
+		delete(b.entries, key)
+	}
+	b.mu.Unlock()
 }
 
 // Len returns the number of live rules as of the last access.

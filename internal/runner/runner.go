@@ -1,0 +1,196 @@
+// Package runner executes seed replicates of simulation experiments on a
+// worker pool.
+//
+// The paper's artefacts are single-seed point estimates; an industrial
+// evaluation wants the same experiment re-run across many seeds with
+// variance attached. Every core.Run* experiment is a pure function of its
+// seed — each replicate builds its own Env (clock, scheduler, RNG,
+// substrates), so replicates share no mutable state and can run on as many
+// OS threads as the hardware offers while staying bit-deterministic per
+// seed. The runner fans replicates out across GOMAXPROCS workers, then
+// merges the per-seed samples in seed order, so the reported statistics
+// are identical no matter how many workers ran or how they interleaved.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"funabuse/internal/metrics"
+)
+
+// Metric is one named scalar an experiment reports for a seed.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Sample is the ordered metric list one replicate produced.
+type Sample []Metric
+
+// Func runs one replicate of an experiment at the given seed and returns
+// its scalar metrics. Implementations must be self-contained: every call
+// builds its own simulation environment and shares nothing with other
+// calls, because the runner invokes Func from multiple goroutines.
+type Func func(seed uint64) (Sample, error)
+
+// Config sizes a replicate run.
+type Config struct {
+	// Replicates is how many seeds to run; 0 or negative means 1.
+	Replicates int
+	// Workers bounds pool size; 0 or negative means GOMAXPROCS. The pool
+	// never exceeds the replicate count.
+	Workers int
+	// BaseSeed is the first seed; replicate i runs seed BaseSeed+i.
+	// 0 means 1 (seed 0 is reserved by convention for "unset").
+	BaseSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicates < 1 {
+		c.Replicates = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Replicates {
+		c.Workers = c.Replicates
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	return c
+}
+
+// Stat is one metric's distribution across replicates.
+type Stat struct {
+	Name string
+	Run  metrics.Running
+}
+
+// Summary is the merged outcome of a replicate run.
+type Summary struct {
+	Name       string
+	Replicates int
+	Workers    int
+	BaseSeed   uint64
+	// Samples holds each replicate's metrics in seed order.
+	Samples []Sample
+	// Stats holds per-metric mean/std/min/max, metrics ordered as the
+	// first replicate declared them. Merged in seed order, so the values
+	// are bit-identical across worker counts.
+	Stats []Stat
+	// ReplicateSeconds is the wall-clock distribution of individual
+	// replicates, accumulated concurrently by the workers (this is the
+	// one statistic that legitimately varies run to run).
+	ReplicateSeconds metrics.Running
+	// Elapsed is the whole run's wall time.
+	Elapsed time.Duration
+}
+
+// Run executes fn for cfg.Replicates consecutive seeds on a worker pool
+// and merges the results. The first error (by seed order) aborts the
+// summary; replicates already in flight still finish.
+func Run(name string, cfg Config, fn Func) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	samples := make([]Sample, cfg.Replicates)
+	errs := make([]error, cfg.Replicates)
+	wall := metrics.NewShardedRunning()
+	outcomes := metrics.NewShardedKeyedCounter()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				s, err := fn(cfg.BaseSeed + uint64(i))
+				wall.ObserveAt(worker, time.Since(t0).Seconds())
+				if err != nil {
+					outcomes.Inc("err")
+					errs[i] = err
+					continue
+				}
+				outcomes.Inc("ok")
+				samples[i] = s
+			}
+		}(w)
+	}
+	for i := 0; i < cfg.Replicates; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: %s seed %d: %w", name, cfg.BaseSeed+uint64(i), err)
+		}
+	}
+	if got := outcomes.Get("ok"); got != uint64(cfg.Replicates) {
+		return nil, fmt.Errorf("runner: %s: %d/%d replicates completed", name, got, cfg.Replicates)
+	}
+
+	sum := &Summary{
+		Name:             name,
+		Replicates:       cfg.Replicates,
+		Workers:          cfg.Workers,
+		BaseSeed:         cfg.BaseSeed,
+		Samples:          samples,
+		Stats:            mergeStats(samples),
+		ReplicateSeconds: wall.Summary(),
+		Elapsed:          time.Since(start),
+	}
+	return sum, nil
+}
+
+// mergeStats folds the per-seed samples into per-metric accumulators, in
+// seed order so the floating-point result is reproducible.
+func mergeStats(samples []Sample) []Stat {
+	index := make(map[string]int)
+	var stats []Stat
+	for _, s := range samples {
+		for _, m := range s {
+			i, ok := index[m.Name]
+			if !ok {
+				i = len(stats)
+				index[m.Name] = i
+				stats = append(stats, Stat{Name: m.Name})
+			}
+			stats[i].Run.Observe(m.Value)
+		}
+	}
+	return stats
+}
+
+// Table renders the per-metric distribution as mean/std/min/max.
+func (s *Summary) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("%s — %d replicates (seeds %d..%d), %d workers",
+			s.Name, s.Replicates, s.BaseSeed, s.BaseSeed+uint64(s.Replicates)-1, s.Workers),
+		"Metric", "Mean", "Std", "Min", "Max")
+	for _, st := range s.Stats {
+		t.AddRow(st.Name,
+			formatStat(st.Run.Mean()),
+			formatStat(st.Run.Std()),
+			formatStat(st.Run.Min()),
+			formatStat(st.Run.Max()))
+	}
+	return t
+}
+
+// formatStat renders a stat cell compactly: integers without a mantissa,
+// everything else with six significant digits.
+func formatStat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

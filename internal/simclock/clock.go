@@ -7,7 +7,7 @@
 package simclock
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,44 +28,49 @@ func (Real) Now() time.Time { return time.Now() }
 
 // Manual is a Clock whose time only moves when explicitly advanced.
 // The zero value is not ready for use; construct with NewManual.
+//
+// Internally the instant is the construction epoch plus an atomically
+// updated nanosecond offset: Now is a single atomic load on the hottest
+// read path of the whole simulator (every scheduled event and every
+// substrate reads it), and concurrent replicate workers never contend on
+// a lock they each own privately anyway.
 type Manual struct {
-	mu  sync.RWMutex
-	now time.Time
+	epoch time.Time    // immutable after NewManual
+	nanos atomic.Int64 // offset from epoch
 }
 
 var _ Clock = (*Manual)(nil)
 
 // NewManual returns a Manual clock initialised to start.
 func NewManual(start time.Time) *Manual {
-	return &Manual{now: start}
+	return &Manual{epoch: start}
 }
 
 // Now returns the clock's current instant.
 func (m *Manual) Now() time.Time {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.now
+	return m.epoch.Add(time.Duration(m.nanos.Load()))
 }
 
 // Advance moves the clock forward by d and returns the new instant.
 // Negative durations are ignored: simulated time never runs backwards.
 func (m *Manual) Advance(d time.Duration) time.Time {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if d > 0 {
-		m.now = m.now.Add(d)
+	if d <= 0 {
+		return m.Now()
 	}
-	return m.now
+	return m.epoch.Add(time.Duration(m.nanos.Add(int64(d))))
 }
 
 // SetAt moves the clock to t if t is not before the current instant.
 // It reports whether the clock moved.
 func (m *Manual) SetAt(t time.Time) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t.Before(m.now) {
-		return false
+	target := t.Sub(m.epoch)
+	for {
+		cur := m.nanos.Load()
+		if int64(target) < cur {
+			return false
+		}
+		if m.nanos.CompareAndSwap(cur, int64(target)) {
+			return true
+		}
 	}
-	m.now = t
-	return true
 }

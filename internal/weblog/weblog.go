@@ -153,14 +153,20 @@ func Sessionize(requests []Request, gap time.Duration) []*Session {
 
 	open := make(map[string]*Session)
 	var done []*Session
+	// The session key is built into a reused scratch buffer and probed with
+	// open[string(keyBuf)], which the compiler compiles to an allocation-free
+	// map lookup; the key string is only materialised when a new session
+	// actually opens.
+	var keyBuf []byte
 	for _, r := range sorted {
-		key := clientKey(r)
-		s, ok := open[key]
+		keyBuf = appendClientKey(keyBuf[:0], r)
+		s, ok := open[string(keyBuf)]
 		if ok && r.Time.Sub(s.End()) > gap {
 			done = append(done, s)
 			ok = false
 		}
 		if !ok {
+			key := string(keyBuf)
 			s = &Session{Key: key}
 			open[key] = s
 		}
@@ -185,21 +191,28 @@ func Sessionize(requests []Request, gap time.Duration) []*Session {
 
 func k2session(m map[string]*Session, k string) *Session { return m[k] }
 
-func clientKey(r Request) string {
+// appendClientKey appends r's session key to buf and returns the extended
+// slice: "c:"+cookie when a cookie is present, else
+// "i:"+IP+"/"+16-hex-digit fingerprint.
+func appendClientKey(buf []byte, r Request) []byte {
 	if r.Cookie != "" {
-		return "c:" + r.Cookie
+		buf = append(buf, 'c', ':')
+		return append(buf, r.Cookie...)
 	}
-	return "i:" + string(r.IP) + "/" + u64hex(r.Fingerprint)
+	buf = append(buf, 'i', ':')
+	buf = append(buf, r.IP...)
+	buf = append(buf, '/')
+	return appendU64Hex(buf, r.Fingerprint)
 }
 
-func u64hex(v uint64) string {
+func appendU64Hex(buf []byte, v uint64) []byte {
 	const digits = "0123456789abcdef"
 	var b [16]byte
 	for i := 15; i >= 0; i-- {
 		b[i] = digits[v&0xf]
 		v >>= 4
 	}
-	return string(b[:])
+	return append(buf, b[:]...)
 }
 
 // TrapPath is a honeytoken URL linked invisibly from pages; only exhaustive

@@ -218,17 +218,21 @@ func (p *Population) newUser() user {
 		pool = proxy.NewPool(p.rng.Derive("isp-"+code), code, 4096)
 		p.pools[code] = pool
 	}
+	// One id string serves as client key, cookie and ground-truth actor id;
+	// building it once keeps user creation at a single id allocation.
+	seq := strconv.Itoa(p.userSeq)
+	id := "user-" + seq
 	return user{
 		ctx: app.ClientContext{
 			IP:          pool.Draw(),
 			Fingerprint: p.fpGen.Organic(),
-			ClientKey:   "user-" + strconv.Itoa(p.userSeq),
-			Cookie:      "user-" + strconv.Itoa(p.userSeq),
+			ClientKey:   id,
+			Cookie:      id,
 			Actor:       weblog.ActorHuman,
-			ActorID:     "user-" + strconv.Itoa(p.userSeq),
+			ActorID:     id,
 		},
 		country: country,
-		phone:   geo.PlanFor(country).Random(p.rng.Derive("phone-" + strconv.Itoa(p.userSeq))),
+		phone:   geo.PlanFor(country).Random(p.rng.Derive("phone-" + seq)),
 	}
 }
 
