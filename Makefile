@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke
+.PHONY: check build test race vet bench bench-smoke chaos
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
-# monitors are concurrent), and a one-iteration benchmark compile+run.
-check: vet build race bench-smoke
+# monitors are concurrent), the chaos suite, and a one-iteration
+# benchmark compile+run.
+check: vet build race chaos bench-smoke
+
+# chaos runs the fault-injection suites under the race detector: the
+# gate-level flap tests and the -exp chaos outage experiment.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/httpgate ./internal/core ./internal/faultinject ./internal/resilience
 
 build:
 	$(GO) build ./...
@@ -23,7 +29,7 @@ race:
 # allocation stats) as machine-readable go-test JSON for regression
 # tracking across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > BENCH_PR2.json
+	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > BENCH_PR3.json
 
 # bench-smoke proves every benchmark still compiles and completes without
 # measuring anything (one iteration each).

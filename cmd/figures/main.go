@@ -13,6 +13,7 @@
 //	figures -exp ablations  # design-choice studies (TTL, rule keys, gaps)
 //	figures -exp carrier    # §V      — settlement-chain mitigations
 //	figures -exp pricing    # §II-A   — DoI fare-ladder distortion
+//	figures -exp chaos      # §V      — defence-layer outages, fail-open vs fail-closed
 //	figures -exp all        # everything, in order
 //
 // Pass -seed to vary the deterministic scenario seed and -csv to emit
@@ -47,7 +48,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, table1, caseA, caseB, caseC, detection, honeypot, economics, biometric, ablations, carrier, pricing, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, table1, caseA, caseB, caseC, detection, honeypot, economics, biometric, ablations, carrier, pricing, chaos, all")
 	seed := flag.Uint64("seed", 1, "deterministic scenario seed (base seed in replicate mode)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	replicates := flag.Int("replicates", 1, "seed replicates per experiment; >1 reports mean/std/min/max across seeds")
@@ -64,6 +65,7 @@ func main() {
 var experimentOrder = []string{
 	"fig1", "table1", "caseA", "caseB", "caseC", "detection",
 	"honeypot", "economics", "biometric", "ablations", "carrier", "pricing",
+	"chaos",
 }
 
 // singleRunners renders each experiment's single-seed artefact.
@@ -80,6 +82,7 @@ var singleRunners = map[string]func(io.Writer, uint64, bool) error{
 	"ablations": runAblations,
 	"carrier":   runCarrier,
 	"pricing":   runPricing,
+	"chaos":     runChaos,
 }
 
 func run(w io.Writer, exp string, seed uint64, csv bool, replicates, workers int) error {
@@ -275,6 +278,16 @@ func runPricing(w io.Writer, seed uint64, csv bool) error {
 		return err
 	}
 	emit(w, res.Table(), csv)
+	return nil
+}
+
+func runChaos(w io.Writer, seed uint64, csv bool) error {
+	res, err := core.RunChaos(seed)
+	if err != nil {
+		return err
+	}
+	emit(w, res.Table(), csv)
+	fmt.Fprintf(w, "fail-open forfeits the layer's catches while it flaps; fail-closed charges honest traffic instead\n")
 	return nil
 }
 

@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"ablations", ReplicateAblations},
 		{"carrier", ReplicateCarrier},
 		{"pricing", ReplicatePricing},
+		{"chaos", ReplicateChaos},
 	}
 }
 
@@ -267,6 +268,24 @@ func ReplicateCarrier(seed uint64) (runner.Sample, error) {
 		b.add(a.Name+"/delivery_rate", a.DeliveryRate)
 		b.addInt(a.Name+"/settled", a.Settled)
 		b.addInt(a.Name+"/unroutable", a.Unroutable)
+	}
+	return b.s, nil
+}
+
+// ReplicateChaos runs the defence-outage study for one seed.
+func ReplicateChaos(seed uint64) (runner.Sample, error) {
+	res, err := RunChaos(seed)
+	if err != nil {
+		return nil, err
+	}
+	var b sample
+	for _, a := range res.Arms {
+		prefix := a.Workload + ":" + a.Policy.String()
+		b.addInt(prefix+"/abuse_denied_healthy", a.AbuseDeniedHealthy)
+		b.addInt(prefix+"/leaked", a.Leaked)
+		b.addInt(prefix+"/false_denials", a.FalseDenials)
+		b.add(prefix+"/degraded", float64(a.Degraded))
+		b.add(prefix+"/breaker_opens", float64(a.BreakerOpens))
 	}
 	return b.s, nil
 }

@@ -10,8 +10,8 @@ import (
 // TestExperimentRegistry checks the id table is complete and consistent.
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

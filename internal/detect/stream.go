@@ -3,6 +3,7 @@ package detect
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"funabuse/internal/signal"
@@ -44,6 +45,13 @@ type StreamConfig struct {
 	DistinctThreshold float64
 	// Shards is the engine lock-stripe count; zero selects the default.
 	Shards int
+	// MaxAlerts caps the alert journal: once it holds this many entries,
+	// further alerts still flag their identity (detection is unaffected)
+	// but are not journaled, and DroppedAlerts counts them. Non-positive
+	// means unbounded — the pre-cap behaviour, acceptable in simulations
+	// but an abuse surface in production: an attacker rotating identities
+	// grows the journal without limit.
+	MaxAlerts int
 }
 
 // StreamMonitor is the online counterpart of the offline session
@@ -63,6 +71,8 @@ type StreamMonitor struct {
 	mu      sync.Mutex
 	flagged map[string]string // identity -> first signal that fired
 	alerts  []StreamAlert
+
+	dropped atomic.Uint64
 }
 
 // NewStreamMonitor returns a monitor with the given thresholds.
@@ -121,9 +131,15 @@ func (m *StreamMonitor) Observe(r weblog.Request) bool {
 	return false
 }
 
-// flag journals the first alert for key. Callers hold m.mu.
+// flag marks key as flagged and journals its first alert, unless the
+// journal is at MaxAlerts — then the alert is counted as dropped instead.
+// Flagging is never dropped: only the journal record is. Callers hold m.mu.
 func (m *StreamMonitor) flag(key, sig string, value float64, at time.Time) {
 	m.flagged[key] = sig
+	if m.cfg.MaxAlerts > 0 && len(m.alerts) >= m.cfg.MaxAlerts {
+		m.dropped.Add(1)
+		return
+	}
 	m.alerts = append(m.alerts, StreamAlert{Key: key, Time: at, Signal: sig, Value: value})
 }
 
@@ -162,6 +178,10 @@ func (m *StreamMonitor) Alerts() []StreamAlert {
 	copy(out, m.alerts)
 	return out
 }
+
+// DroppedAlerts returns how many alerts were not journaled because the
+// journal was at MaxAlerts. The identities behind them are still flagged.
+func (m *StreamMonitor) DroppedAlerts() uint64 { return m.dropped.Load() }
 
 // Observed returns how many requests the monitor consumed.
 func (m *StreamMonitor) Observed() uint64 { return m.engine.Observed() }

@@ -113,6 +113,63 @@ func TestStreamMonitorJournalSurvivesEngineSweep(t *testing.T) {
 	}
 }
 
+func TestStreamMonitorAlertJournalCapped(t *testing.T) {
+	// An attacker rotating identities must not grow the journal without
+	// bound: past MaxAlerts, alerts are counted as dropped but the
+	// identities are still flagged — detection is unaffected.
+	m := NewStreamMonitor(StreamConfig{
+		RateWindow:    time.Hour,
+		RateThreshold: 5,
+		MaxAlerts:     10,
+	})
+	const identities = 25
+	for id := range identities {
+		for i := range 5 {
+			m.Observe(streamReq(st0.Add(time.Duration(i)*time.Second),
+				"198.51.100.7", uint64(0x1000+id), ""))
+		}
+	}
+	if got := len(m.Alerts()); got != 10 {
+		t.Fatalf("journal holds %d alerts, want the cap of 10", got)
+	}
+	if got := m.DroppedAlerts(); got != identities-10 {
+		t.Fatalf("dropped %d alerts, want %d", got, identities-10)
+	}
+	for id := range identities {
+		key := IdentityKey(streamReq(st0, "x", uint64(0x1000+id), ""))
+		if !m.Flagged(key) {
+			t.Fatalf("identity %d lost its flag under journal pressure", id)
+		}
+	}
+}
+
+func TestStreamMonitorJournalSurvivesSweepUnderCap(t *testing.T) {
+	// The durability guarantee holds with a cap configured, as long as the
+	// journal is below it.
+	m := NewStreamMonitor(StreamConfig{
+		RateWindow:        time.Minute,
+		DistinctThreshold: 4,
+		MaxAlerts:         100,
+	})
+	for i := range 10 {
+		m.Observe(streamReq(st0, "10.0."+strconv.Itoa(i)+".1", 0xdead, ""))
+	}
+	key := IdentityKey(streamReq(st0, "x", 0xdead, ""))
+	for i := range 20_000 {
+		at := st0.Add(3*time.Hour + time.Duration(i)*time.Second)
+		m.Observe(streamReq(at, "203.0.113.5", uint64(i%128), "user-x"))
+	}
+	if !m.Flagged(key) {
+		t.Fatal("flag lost after engine sweep")
+	}
+	if len(m.Alerts()) == 0 || m.Alerts()[0].Key != key {
+		t.Fatalf("journal %+v lost the pre-sweep alert", m.Alerts())
+	}
+	if m.DroppedAlerts() != 0 {
+		t.Fatalf("dropped %d alerts below the cap", m.DroppedAlerts())
+	}
+}
+
 func TestStreamMonitorConcurrentObserve(t *testing.T) {
 	m := NewStreamMonitor(StreamConfig{
 		RateWindow:        time.Hour,

@@ -61,6 +61,69 @@ func BenchmarkGateDecideSharded(b *testing.B) {
 	})
 }
 
+// BenchmarkGateDecideResilient is the sharded decide path with every layer
+// behind a closed circuit breaker — the PR 3 acceptance benchmark: it must
+// report the same allocs/op as BenchmarkGateDecideSharded (the breakers
+// ride on preallocated rings and the guard closures stay on the stack).
+func BenchmarkGateDecideResilient(b *testing.B) {
+	clock := simclock.NewManual(t0)
+	g := New(Config{
+		Clock:         clock,
+		ProfileLimit:  1 << 30,
+		ProfileWindow: time.Hour,
+		PathLimit:     1 << 30,
+		PathWindow:    time.Hour,
+		Resilience:    &ResilienceConfig{},
+	})
+	reqs := make([]*http.Request, 8)
+	for i := range reqs {
+		path, _ := benchRequest(i)
+		reqs[i] = httptest.NewRequest(http.MethodGet, path, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, sid := benchRequest(i)
+			info := ClientInfo{IP: "203.0.113.7", ClientKey: sid, HasFingerprint: true}
+			g.decide(reqs[i%8], info)
+			i++
+		}
+	})
+}
+
+// TestDecideResilientAddsNoAllocs pins the acceptance criterion in a test:
+// with all breakers closed, the guarded decide path allocates exactly as
+// much as the unguarded one.
+func TestDecideResilientAddsNoAllocs(t *testing.T) {
+	build := func(rc *ResilienceConfig) *Gate {
+		return New(Config{
+			Clock:         simclock.NewManual(t0),
+			Blocks:        mitigate.NewBlockList(0),
+			ProfileLimit:  1 << 30,
+			ProfileWindow: time.Hour,
+			PathLimit:     1 << 30,
+			PathWindow:    time.Hour,
+			Resilience:    rc,
+		})
+	}
+	r := httptest.NewRequest(http.MethodGet, "/booking/1", nil)
+	info := ClientInfo{IP: "203.0.113.7", ClientKey: "user-1", Fingerprint: 0xabc, HasFingerprint: true}
+	measure := func(g *Gate) float64 {
+		return testing.AllocsPerRun(512, func() {
+			if reason, _, mask := g.decide(r, info); reason != "" || mask != 0 {
+				t.Fatalf("reason %q mask %d", reason, mask)
+			}
+		})
+	}
+	plain := measure(build(nil))
+	guarded := measure(build(&ResilienceConfig{}))
+	if guarded > plain {
+		t.Fatalf("resilient decide allocates %v/op vs %v/op unguarded", guarded, plain)
+	}
+}
+
 func BenchmarkGateDecideMutexBaseline(b *testing.B) {
 	clock := simclock.NewManual(t0)
 	m := &mutexGate{

@@ -13,21 +13,38 @@
 //   - the client key is the session cookie or authenticated profile.
 //
 // The gate enforces, in order: blocklists (fingerprint, IP, client key),
-// a challenge hook, then rate limits keyed per path, per client profile
-// and per caller-chosen resource (e.g. a booking reference). Denials are
-// returned as 403/429 with machine-readable reason headers so that
+// a challenge hook, then rate limits keyed per client profile, per
+// caller-chosen resource (e.g. a booking reference) and per path. Denials
+// are returned as 403/429 with machine-readable reason headers so that
 // downstream analytics — and honest clients — can tell the layers apart.
+//
+// # Resilience
+//
+// Each fallible layer runs behind its own circuit breaker with an
+// explicit fail policy: the availability of a defence layer is itself a
+// fraud surface (a silently failing rate limit re-opens the abuse window
+// it closed), so the gate never lets a layer fail silently. A layer that
+// errors, panics, or whose breaker is open is resolved by its
+// resilience.Policy — FailOpen skips the layer, FailClosed denies the
+// request — the decision is counted, and the response carries the
+// affected layer names in DegradedHeader so downstream analytics can
+// discount decisions made in degraded mode. Hook panics (Challenge,
+// OnDecision, ResourceKey) are always recovered, with or without
+// breakers: a misbehaving operator hook must not take down the serving
+// goroutine.
 package httpgate
 
 import (
 	"net"
 	"net/http"
+	"net/netip"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"funabuse/internal/mitigate"
+	"funabuse/internal/resilience"
 	"funabuse/internal/signal"
 	"funabuse/internal/simclock"
 )
@@ -41,6 +58,10 @@ const (
 	ClientCookie = "sid"
 	// ReasonHeader names the defence layer that denied a request.
 	ReasonHeader = "X-Denied-By"
+	// DegradedHeader lists the layers (comma-separated) that were
+	// unavailable — breaker open, error, or panic — while this decision
+	// was made. Absent on healthy decisions.
+	DegradedHeader = "X-Gate-Degraded"
 )
 
 // Denial reasons reported in ReasonHeader.
@@ -50,7 +71,61 @@ const (
 	ReasonPathLimit = "rate-limit-path"
 	ReasonProfile   = "rate-limit-profile"
 	ReasonResource  = "rate-limit-resource"
+	// ReasonDecision is reported when the decision journal is unavailable
+	// and the journal layer is configured fail-closed (audit-mandatory
+	// deployments).
+	ReasonDecision = "decision-journal"
 )
+
+// Layer identifies one guarded stage of the pipeline.
+type Layer int
+
+// Pipeline layers, in evaluation order.
+const (
+	LayerBlocklist Layer = iota
+	LayerChallenge
+	LayerProfile
+	LayerResource
+	LayerPath
+	LayerDecision
+	numLayers
+)
+
+// String names the layer as reported in DegradedHeader.
+func (l Layer) String() string {
+	switch l {
+	case LayerBlocklist:
+		return "blocklist"
+	case LayerChallenge:
+		return "challenge"
+	case LayerProfile:
+		return "profile"
+	case LayerResource:
+		return "resource"
+	case LayerPath:
+		return "path"
+	case LayerDecision:
+		return "decision"
+	default:
+		return "unknown"
+	}
+}
+
+// degradedNames[mask] is the DegradedHeader value for each combination of
+// degraded layers, precomputed so the degraded path does not rebuild it.
+var degradedNames = func() [1 << numLayers]string {
+	var names [1 << numLayers]string
+	for mask := 1; mask < len(names); mask++ {
+		var parts []string
+		for l := LayerBlocklist; l < numLayers; l++ {
+			if mask&(1<<l) != 0 {
+				parts = append(parts, l.String())
+			}
+		}
+		names[mask] = strings.Join(parts, ",")
+	}
+	return names
+}()
 
 // ClientInfo is the gate's view of one request's origin.
 type ClientInfo struct {
@@ -61,16 +136,50 @@ type ClientInfo struct {
 	ClientKey      string
 }
 
+// CheckFunc is a fallible keyed layer check: a blocklist lookup (true
+// means blocked) or a limiter decision (true means allowed). In-process
+// implementations never fail; remote ones — and fault-injection wrappers —
+// return errors, which the layer's breaker and policy absorb.
+type CheckFunc func(key string, now time.Time) (bool, error)
+
+// ResilienceConfig wires per-layer circuit breakers and fail policies
+// into a Gate.
+type ResilienceConfig struct {
+	// Breaker is the per-layer breaker template (every enabled layer gets
+	// its own instance); zero fields select resilience defaults.
+	Breaker resilience.BreakerConfig
+	// Per-layer fail policies. The zero value, FailOpen, skips an
+	// unavailable layer; FailClosed denies the request instead. See
+	// DESIGN.md for guidance on choosing per layer.
+	Blocklist resilience.Policy
+	Challenge resilience.Policy
+	Profile   resilience.Policy
+	Resource  resilience.Policy
+	Path      resilience.Policy
+	// Decision governs the OnDecision journal write: FailClosed turns an
+	// unavailable audit journal into a 503 denial (audit-mandatory
+	// postures); FailOpen serves the request and counts the lost record.
+	Decision resilience.Policy
+}
+
 // Config assembles a Gate.
 type Config struct {
 	// Clock supplies time; defaults to the real clock.
 	Clock simclock.Clock
-	// Blocks is the shared deny list; nil disables the layer.
+	// Blocks is the shared deny list; nil disables the layer (unless
+	// BlocklistFunc is set).
 	Blocks *mitigate.BlockList
+	// BlocklistFunc, when non-nil, replaces Blocks as the lookup — the
+	// hook for remote deny lists and fault injection. Keys arrive
+	// prefixed ("fp:", "ip:", "ck:") exactly as with Blocks.
+	BlocklistFunc CheckFunc
 	// Challenge, when non-nil, is invoked for every admitted-so-far
 	// request; returning false denies with 403/challenge. Wire it to a
 	// CAPTCHA or proof-of-work verifier.
 	Challenge func(r *http.Request, info ClientInfo) bool
+	// ChallengeFunc is the fallible variant of Challenge and wins when
+	// both are set.
+	ChallengeFunc func(r *http.Request, info ClientInfo) (bool, error)
 	// PathLimit caps requests per path per window; zero disables.
 	PathLimit  int
 	PathWindow time.Duration
@@ -84,6 +193,12 @@ type Config struct {
 	// ResourceLimit caps requests per resource per window; zero disables.
 	ResourceLimit  int
 	ResourceWindow time.Duration
+	// PathCheck, ProfileCheck and ResourceCheck, when non-nil, replace
+	// the corresponding built-in sharded limiter (which is then not
+	// constructed). Keys arrive prefixed ("path:", "pf:", "rs:").
+	PathCheck     CheckFunc
+	ProfileCheck  CheckFunc
+	ResourceCheck CheckFunc
 	// TrustForwardedFor reads the client IP from X-Forwarded-For's first
 	// hop. Enable only behind a trusted proxy.
 	TrustForwardedFor bool
@@ -95,6 +210,14 @@ type Config struct {
 	// the defender's journals). It may run concurrently and must be safe
 	// for concurrent use.
 	OnDecision func(r *http.Request, info ClientInfo, deniedBy string)
+	// OnDecisionFunc is the fallible variant of OnDecision and wins when
+	// both are set.
+	OnDecisionFunc func(r *http.Request, info ClientInfo, deniedBy string) error
+	// Resilience, when non-nil, puts every enabled fallible layer behind
+	// its own circuit breaker with the configured fail policies. When nil
+	// the gate still recovers hook panics and applies (fail-open) layer
+	// policies; it just never short-circuits a flapping layer.
+	Resilience *ResilienceConfig
 	// Shards is the lock-stripe count for each rate-limiting layer,
 	// rounded up to a power of two; zero selects signal.DefaultShards.
 	Shards int
@@ -103,12 +226,40 @@ type Config struct {
 	WindowBuckets int
 }
 
+// layerGuard is one layer's resilience state: its breaker (nil without a
+// ResilienceConfig), fail policy, and degradation counters.
+type layerGuard struct {
+	breaker  *resilience.Breaker
+	policy   resilience.Policy
+	errors   atomic.Uint64
+	panics   atomic.Uint64
+	degraded atomic.Uint64
+}
+
+// LayerStats is one layer's observability snapshot.
+type LayerStats struct {
+	Layer  Layer
+	Policy resilience.Policy
+	// State is the breaker position; Closed when no breaker is wired.
+	State resilience.State
+	// Errors counts layer calls that returned an error (panics included).
+	Errors uint64
+	// Panics counts recovered layer panics.
+	Panics uint64
+	// Degraded counts decisions where this layer was unavailable and its
+	// policy was applied instead.
+	Degraded uint64
+	// BreakerOpens counts the breaker's trips to open.
+	BreakerOpens uint64
+}
+
 // Gate is an http.Handler middleware enforcing the defence pipeline. It is
 // safe for concurrent use without a global lock: each rate-limiting layer
 // is a lock-striped signal.Limiter, the block list synchronises itself,
 // and the counters are atomics, so decisions for unrelated keys proceed in
 // parallel. The Challenge and OnDecision hooks are called outside any gate
-// lock and must be concurrency-safe.
+// lock and must be concurrency-safe; panics in them are recovered and
+// resolved by the layer's fail policy.
 type Gate struct {
 	cfg      Config
 	clock    simclock.Clock
@@ -116,8 +267,19 @@ type Gate struct {
 	profile  *signal.Limiter
 	resource *signal.Limiter
 
+	// Resolved fallible layer calls; nil means the layer is disabled.
+	blockCheck    CheckFunc
+	challenge     func(r *http.Request, info ClientInfo) (bool, error)
+	pathCheck     CheckFunc
+	profileCheck  CheckFunc
+	resourceCheck CheckFunc
+	onDecision    func(r *http.Request, info ClientInfo, deniedBy string) error
+
+	guards [numLayers]layerGuard
+
 	admitted atomic.Uint64
 	denied   atomic.Uint64
+	degraded atomic.Uint64
 }
 
 // New builds a Gate from cfg.
@@ -127,25 +289,87 @@ func New(cfg Config) *Gate {
 		clock = simclock.Real{}
 	}
 	g := &Gate{cfg: cfg, clock: clock}
-	if cfg.PathLimit > 0 {
+
+	g.blockCheck = cfg.BlocklistFunc
+	if g.blockCheck == nil && cfg.Blocks != nil {
+		blocks := cfg.Blocks
+		g.blockCheck = func(key string, now time.Time) (bool, error) {
+			return blocks.Blocked(key, now), nil
+		}
+	}
+	g.challenge = cfg.ChallengeFunc
+	if g.challenge == nil && cfg.Challenge != nil {
+		hook := cfg.Challenge
+		g.challenge = func(r *http.Request, info ClientInfo) (bool, error) {
+			return hook(r, info), nil
+		}
+	}
+	g.onDecision = cfg.OnDecisionFunc
+	if g.onDecision == nil && cfg.OnDecision != nil {
+		hook := cfg.OnDecision
+		g.onDecision = func(r *http.Request, info ClientInfo, deniedBy string) error {
+			hook(r, info, deniedBy)
+			return nil
+		}
+	}
+
+	g.pathCheck = cfg.PathCheck
+	if g.pathCheck == nil && cfg.PathLimit > 0 {
 		g.path = signal.NewLimiter(signal.LimiterConfig{
 			Window: cfg.PathWindow, Limit: cfg.PathLimit,
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
+		g.pathCheck = limiterCheck(g.path)
 	}
-	if cfg.ProfileLimit > 0 {
+	g.profileCheck = cfg.ProfileCheck
+	if g.profileCheck == nil && cfg.ProfileLimit > 0 {
 		g.profile = signal.NewLimiter(signal.LimiterConfig{
 			Window: cfg.ProfileWindow, Limit: cfg.ProfileLimit,
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
+		g.profileCheck = limiterCheck(g.profile)
 	}
-	if cfg.ResourceLimit > 0 {
+	g.resourceCheck = cfg.ResourceCheck
+	if g.resourceCheck == nil && cfg.ResourceLimit > 0 {
 		g.resource = signal.NewLimiter(signal.LimiterConfig{
 			Window: cfg.ResourceWindow, Limit: cfg.ResourceLimit,
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
+		g.resourceCheck = limiterCheck(g.resource)
+	}
+
+	if rc := cfg.Resilience; rc != nil {
+		policies := [numLayers]resilience.Policy{
+			LayerBlocklist: rc.Blocklist,
+			LayerChallenge: rc.Challenge,
+			LayerProfile:   rc.Profile,
+			LayerResource:  rc.Resource,
+			LayerPath:      rc.Path,
+			LayerDecision:  rc.Decision,
+		}
+		enabled := [numLayers]bool{
+			LayerBlocklist: g.blockCheck != nil,
+			LayerChallenge: g.challenge != nil,
+			LayerProfile:   g.profileCheck != nil,
+			LayerResource:  g.resourceCheck != nil && cfg.ResourceKey != nil,
+			LayerPath:      g.pathCheck != nil,
+			LayerDecision:  g.onDecision != nil,
+		}
+		for l := LayerBlocklist; l < numLayers; l++ {
+			g.guards[l].policy = policies[l]
+			if enabled[l] {
+				g.guards[l].breaker = resilience.NewBreaker(rc.Breaker)
+			}
+		}
 	}
 	return g
+}
+
+// limiterCheck adapts a sharded limiter to the fallible layer shape.
+func limiterCheck(l *signal.Limiter) CheckFunc {
+	return func(key string, now time.Time) (bool, error) {
+		return l.Allow(key, now), nil
+	}
 }
 
 // Admitted returns how many requests passed every layer.
@@ -154,18 +378,54 @@ func (g *Gate) Admitted() uint64 { return g.admitted.Load() }
 // Denied returns how many requests any layer rejected.
 func (g *Gate) Denied() uint64 { return g.denied.Load() }
 
+// Degraded returns how many decisions were made with at least one layer
+// unavailable (always <= Admitted+Denied).
+func (g *Gate) Degraded() uint64 { return g.degraded.Load() }
+
+// LayerStats snapshots one layer's resilience counters.
+func (g *Gate) LayerStats(l Layer) LayerStats {
+	gd := &g.guards[l]
+	s := LayerStats{
+		Layer:    l,
+		Policy:   gd.policy,
+		Errors:   gd.errors.Load(),
+		Panics:   gd.panics.Load(),
+		Degraded: gd.degraded.Load(),
+	}
+	if gd.breaker != nil {
+		s.State = gd.breaker.State()
+		s.BreakerOpens = gd.breaker.Opens()
+	}
+	return s
+}
+
+// Breaker exposes a layer's breaker for tests and dashboards; nil without
+// a ResilienceConfig or for a disabled layer.
+func (g *Gate) Breaker(l Layer) *resilience.Breaker { return g.guards[l].breaker }
+
 // Wrap returns next guarded by the gate.
 func (g *Gate) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		info := g.client(r)
-		reason, status := g.decide(r, info)
+		reason, status, mask := g.decide(r, info)
+
+		if g.onDecision != nil {
+			if !g.runDecisionHook(r, info, reason) {
+				mask |= 1 << LayerDecision
+				if g.guards[LayerDecision].policy == resilience.FailClosed && reason == "" {
+					reason, status = ReasonDecision, http.StatusServiceUnavailable
+				}
+			}
+		}
+
 		if reason != "" {
 			g.denied.Add(1)
 		} else {
 			g.admitted.Add(1)
 		}
-		if g.cfg.OnDecision != nil {
-			g.cfg.OnDecision(r, info, reason)
+		if mask != 0 {
+			g.degraded.Add(1)
+			w.Header().Set(DegradedHeader, degradedNames[mask])
 		}
 		if reason != "" {
 			w.Header().Set(ReasonHeader, reason)
@@ -176,36 +436,159 @@ func (g *Gate) Wrap(next http.Handler) http.Handler {
 	})
 }
 
-// decide runs the layers in order, returning the denial reason and HTTP
-// status, or ("", 0) to admit.
-func (g *Gate) decide(r *http.Request, info ClientInfo) (string, int) {
+// runDecisionHook journals the decision behind the decision layer's guard,
+// reporting whether the journal write succeeded.
+func (g *Gate) runDecisionHook(r *http.Request, info ClientInfo, reason string) bool {
 	now := g.clock.Now()
+	gd := &g.guards[LayerDecision]
+	if gd.breaker != nil && !gd.breaker.Allow(now) {
+		gd.degraded.Add(1)
+		return false
+	}
+	err := g.safeDecision(gd, r, info, reason)
+	if gd.breaker != nil {
+		gd.breaker.Record(now, err == nil)
+	}
+	if err != nil {
+		gd.errors.Add(1)
+		gd.degraded.Add(1)
+		return false
+	}
+	return true
+}
+
+// safeDecision invokes the decision hook with panic isolation.
+func (g *Gate) safeDecision(gd *layerGuard, r *http.Request, info ClientInfo, reason string) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			gd.panics.Add(1)
+			err = &resilience.PanicError{Value: p}
+		}
+	}()
+	return g.onDecision(r, info, reason)
+}
+
+// decide runs the layers in order, returning the denial reason, HTTP
+// status and the degraded-layer bitmask, or ("", 0, mask) to admit.
+func (g *Gate) decide(r *http.Request, info ClientInfo) (string, int, uint8) {
+	now := g.clock.Now()
+	var mask uint8
 
 	if g.cfg.RequireFingerprint && !info.HasFingerprint {
-		return ReasonChallenge, http.StatusForbidden
+		return ReasonChallenge, http.StatusForbidden, mask
 	}
-	if b := g.cfg.Blocks; b != nil {
-		if (info.HasFingerprint && b.Blocked("fp:"+strconv.FormatUint(info.Fingerprint, 16), now)) ||
-			b.Blocked("ip:"+info.IP, now) ||
-			(info.ClientKey != "" && b.Blocked("ck:"+info.ClientKey, now)) {
-			return ReasonBlocklist, http.StatusForbidden
+	if g.blockCheck != nil {
+		blocked, deg := g.runCheck(LayerBlocklist, now, false, func() (bool, error) {
+			return g.blockedAny(info, now)
+		})
+		mask |= deg
+		if blocked {
+			return ReasonBlocklist, http.StatusForbidden, mask
 		}
 	}
-	if g.cfg.Challenge != nil && !g.cfg.Challenge(r, info) {
-		return ReasonChallenge, http.StatusForbidden
-	}
-	if g.profile != nil && info.ClientKey != "" && !g.profile.Allow("pf:"+info.ClientKey, now) {
-		return ReasonProfile, http.StatusTooManyRequests
-	}
-	if g.resource != nil && g.cfg.ResourceKey != nil {
-		if key := g.cfg.ResourceKey(r); key != "" && !g.resource.Allow("rs:"+key, now) {
-			return ReasonResource, http.StatusTooManyRequests
+	if g.challenge != nil {
+		passed, deg := g.runCheck(LayerChallenge, now, true, func() (bool, error) {
+			return g.challenge(r, info)
+		})
+		mask |= deg
+		if !passed {
+			return ReasonChallenge, http.StatusForbidden, mask
 		}
 	}
-	if g.path != nil && !g.path.Allow("path:"+r.URL.Path, now) {
-		return ReasonPathLimit, http.StatusTooManyRequests
+	if g.profileCheck != nil && info.ClientKey != "" {
+		allowed, deg := g.runCheck(LayerProfile, now, true, func() (bool, error) {
+			return g.profileCheck("pf:"+info.ClientKey, now)
+		})
+		mask |= deg
+		if !allowed {
+			return ReasonProfile, http.StatusTooManyRequests, mask
+		}
 	}
-	return "", 0
+	if g.resourceCheck != nil && g.cfg.ResourceKey != nil {
+		allowed, deg := g.runCheck(LayerResource, now, true, func() (bool, error) {
+			// Key extraction is an operator hook: it runs inside the guard
+			// so its panics degrade the layer rather than the goroutine.
+			key := g.cfg.ResourceKey(r)
+			if key == "" {
+				return true, nil
+			}
+			return g.resourceCheck("rs:"+key, now)
+		})
+		mask |= deg
+		if !allowed {
+			return ReasonResource, http.StatusTooManyRequests, mask
+		}
+	}
+	if g.pathCheck != nil {
+		allowed, deg := g.runCheck(LayerPath, now, true, func() (bool, error) {
+			return g.pathCheck("path:"+r.URL.Path, now)
+		})
+		mask |= deg
+		if !allowed {
+			return ReasonPathLimit, http.StatusTooManyRequests, mask
+		}
+	}
+	return "", 0, mask
+}
+
+// blockedAny screens the request's identities against the deny list,
+// stopping at the first hit or error.
+func (g *Gate) blockedAny(info ClientInfo, now time.Time) (bool, error) {
+	if info.HasFingerprint {
+		blocked, err := g.blockCheck("fp:"+strconv.FormatUint(info.Fingerprint, 16), now)
+		if blocked || err != nil {
+			return blocked, err
+		}
+	}
+	blocked, err := g.blockCheck("ip:"+info.IP, now)
+	if blocked || err != nil {
+		return blocked, err
+	}
+	if info.ClientKey != "" {
+		return g.blockCheck("ck:"+info.ClientKey, now)
+	}
+	return false, nil
+}
+
+// runCheck runs one guarded boolean layer call. failOpen is the verdict an
+// unavailable layer yields under FailOpen (blocklist: "not blocked";
+// challenge/limits: "allowed"); FailClosed yields its negation. The
+// returned deg is the layer's degraded-mask bit, 0 on a healthy call.
+func (g *Gate) runCheck(l Layer, now time.Time, failOpen bool, call func() (bool, error)) (verdict bool, deg uint8) {
+	gd := &g.guards[l]
+	if gd.breaker != nil && !gd.breaker.Allow(now) {
+		return gd.degrade(l, failOpen)
+	}
+	v, err := g.safeCheck(gd, call)
+	if gd.breaker != nil {
+		gd.breaker.Record(now, err == nil)
+	}
+	if err != nil {
+		gd.errors.Add(1)
+		return gd.degrade(l, failOpen)
+	}
+	return v, 0
+}
+
+// degrade resolves an unavailable layer by its policy and counts it.
+func (gd *layerGuard) degrade(l Layer, failOpen bool) (bool, uint8) {
+	gd.degraded.Add(1)
+	bit := uint8(1) << uint(l)
+	if gd.policy == resilience.FailClosed {
+		return !failOpen, bit
+	}
+	return failOpen, bit
+}
+
+// safeCheck invokes a layer call with panic isolation.
+func (g *Gate) safeCheck(gd *layerGuard, call func() (bool, error)) (v bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			gd.panics.Add(1)
+			v, err = false, &resilience.PanicError{Value: p}
+		}
+	}()
+	return call()
 }
 
 // client extracts attribution from the request.
@@ -227,7 +610,9 @@ func (g *Gate) client(r *http.Request) ClientInfo {
 }
 
 // remoteIP resolves the client address, honouring X-Forwarded-For only
-// when trusted.
+// when trusted. A malformed first hop (empty, whitespace, or not an IP
+// address — e.g. the header ",1.2.3.4") falls back to RemoteAddr rather
+// than attributing every such request to the shared degenerate "ip:" key.
 func remoteIP(r *http.Request, trustXFF bool) string {
 	if trustXFF {
 		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
@@ -235,7 +620,10 @@ func remoteIP(r *http.Request, trustXFF bool) string {
 			if i := strings.IndexByte(xff, ','); i >= 0 {
 				first = xff[:i]
 			}
-			return strings.TrimSpace(first)
+			first = strings.TrimSpace(first)
+			if _, err := netip.ParseAddr(first); err == nil {
+				return first
+			}
 		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)

@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout is returned by WithTimeout when the call exceeds its budget.
+// The abandoned call keeps running on its goroutine; its eventual result
+// is discarded.
+var ErrTimeout = errors.New("resilience: call timed out")
+
+// WithTimeout runs fn on its own goroutine and waits at most d for it to
+// return. On expiry it returns ErrTimeout and abandons the call — the
+// slow layer finishes (or panics, harmlessly recovered) in the background.
+// A non-positive d calls fn inline with only panic isolation.
+//
+// Unlike the breaker this wrapper uses real timers and goroutines: it
+// bounds the latency a slow dependency can add to the serving path, which
+// a virtual clock cannot express. Allocation cost is one goroutine, one
+// channel and one timer per call, so it belongs on layers that do real
+// I/O, not on in-process lookups.
+func WithTimeout(d time.Duration, fn func() error) error {
+	if d <= 0 {
+		return Safe(fn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Safe(fn) }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// Hedge runs fn and, if no result arrives within delay, launches a second
+// identical call; the first result to arrive wins and the loser is
+// discarded. It is the classic tail-latency hedge for idempotent lookups
+// (a replicated blocklist read, a challenge-state fetch): the second call
+// turns a p99 stall into a p50 wait without failing the request.
+//
+// fn must be safe to invoke twice concurrently. Panics in either invocation
+// are recovered; a panic result only surfaces if it arrives first.
+func Hedge(delay time.Duration, fn func() error) error {
+	if delay <= 0 {
+		return Safe(fn)
+	}
+	done := make(chan error, 2)
+	go func() { done <- Safe(fn) }()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		go func() { done <- Safe(fn) }()
+		return <-done
+	}
+}

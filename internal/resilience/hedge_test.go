@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The timeout/hedge wrappers are the one real-time corner of the package;
+// these tests use generous margins so they stay robust on loaded CI.
+
+func TestWithTimeoutFastCall(t *testing.T) {
+	if err := WithTimeout(time.Second, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := WithTimeout(time.Second, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestWithTimeoutExpires(t *testing.T) {
+	release := make(chan struct{})
+	err := WithTimeout(5*time.Millisecond, func() error {
+		<-release
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err %v, want ErrTimeout", err)
+	}
+}
+
+func TestWithTimeoutZeroRunsInline(t *testing.T) {
+	err := WithTimeout(0, func() error { panic("inline") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %v, want recovered panic", err)
+	}
+}
+
+func TestWithTimeoutRecoversGoroutinePanic(t *testing.T) {
+	err := WithTimeout(time.Second, func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %v, want recovered panic", err)
+	}
+}
+
+func TestHedgeFirstResultWins(t *testing.T) {
+	var calls atomic.Int32
+	if err := Hedge(time.Second, func() error {
+		calls.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls %d: fast primary still hedged", calls.Load())
+	}
+}
+
+func TestHedgeLaunchesSecondCall(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	err := Hedge(time.Millisecond, func() error {
+		if calls.Add(1) == 1 {
+			<-release // first call stalls
+			return errors.New("stale primary")
+		}
+		return nil
+	})
+	close(release)
+	if err != nil {
+		t.Fatalf("err %v: hedge result not used", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls %d, want 2", calls.Load())
+	}
+}
+
+func TestSafeConvertsPanic(t *testing.T) {
+	err := Safe(func() error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %v", err)
+	}
+	if pe.Value != 42 {
+		t.Fatalf("value %v", pe.Value)
+	}
+	if Safe(func() error { return nil }) != nil {
+		t.Fatal("clean call errored")
+	}
+}
