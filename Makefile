@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke chaos
+.PHONY: check build test race vet bench bench-smoke chaos obs-smoke
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
-# monitors are concurrent), the chaos suite, and a one-iteration
-# benchmark compile+run.
-check: vet build race chaos bench-smoke
+# monitors are concurrent), the chaos suite, a one-iteration benchmark
+# compile+run, and the telemetry smoke test.
+check: vet build race chaos bench-smoke obs-smoke
+
+# obs-smoke boots the telemetry mux, scrapes /metrics and /healthz, and
+# fails if the exposition contains a single unparseable line.
+obs-smoke:
+	$(GO) test -count=1 -run 'ObsSmoke|ServeTelemetry' ./cmd/fraudsim
 
 # chaos runs the fault-injection suites under the race detector: the
 # gate-level flap tests and the -exp chaos outage experiment.

@@ -6,15 +6,24 @@
 //	fraudsim -scenario smspump  -days 7
 //	fraudsim -scenario manual   -days 5 -defend
 //	fraudsim -scenario mixed    -days 3 -defend -honeypot
+//	fraudsim -scenario mixed    -days 3 -defend -serve :9090
 //
-// All scenarios are deterministic per -seed.
+// All scenarios are deterministic per -seed. With -serve the process
+// exposes /metrics, /healthz, /debug/traces and /debug/pprof while the
+// simulation runs, and stays up after the report until interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"funabuse/internal/attack"
@@ -22,9 +31,32 @@ import (
 	"funabuse/internal/core"
 	"funabuse/internal/fingerprint"
 	"funabuse/internal/metrics"
+	"funabuse/internal/obs"
 	"funabuse/internal/proxy"
 	"funabuse/internal/workload"
 )
+
+// options carries everything run needs; flags map onto it 1:1. New knobs
+// become fields here rather than positional parameters.
+type options struct {
+	scenario string
+	days     int
+	seed     uint64
+	defend   bool
+	honeypot bool
+
+	// serve exposes the telemetry mux on this address ("" disables).
+	serve string
+	// stayUp blocks after the report until SIGINT/SIGTERM so the serving
+	// surface outlives the simulation. main sets it alongside serve; tests
+	// leave it false.
+	stayUp bool
+	// telemetry, when non-nil, receives the run's collectors even without
+	// -serve — tests use it to scrape a finished run in-process.
+	telemetry *obs.Registry
+	// traces, when non-nil, is exposed on /debug/traces.
+	traces *obs.TraceRing
+}
 
 func main() {
 	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed")
@@ -32,35 +64,106 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	defend := flag.Bool("defend", false, "run the adaptive defender")
 	honeypot := flag.Bool("honeypot", false, "redirect flagged clients to decoy inventory (implies -defend)")
+	serve := flag.String("serve", "", "address for /metrics, /healthz and /debug endpoints (e.g. :9090); stays up after the report")
 	flag.Parse()
 
-	if err := run(*scenario, *days, *seed, *defend, *honeypot); err != nil {
+	opts := options{
+		scenario: *scenario,
+		days:     *days,
+		seed:     *seed,
+		defend:   *defend,
+		honeypot: *honeypot,
+		serve:    *serve,
+		stayUp:   *serve != "",
+	}
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "fraudsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
-	if days < 1 {
-		days = 1
+// buildTelemetry registers the run's collectors on reg (allocating one if
+// nil) and documents the app-level families.
+func buildTelemetry(env *core.Env, opts options, reg *obs.Registry) *obs.Registry {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	if honeypot {
-		defend = true
+	reg.Register(env.App.Collector())
+	reg.Help("app_requests_total", "Requests entering the defence pipeline.")
+	reg.Help("app_blocked_total", "Requests denied by blocklists or fingerprint rules.")
+	reg.Help("app_rate_limited_total", "Requests denied by the rate-limit family.")
+	reg.Help("app_served_total", "Requests that reached the business feature.")
+	reg.Help("app_block_rules", "Live blocklist rules.")
+	reg.Gauge("fraudsim_days").Set(float64(opts.days))
+	reg.Gauge("fraudsim_seed").Set(float64(opts.seed))
+	reg.Gauge("fraudsim_scenario_info",
+		obs.Label{Name: "scenario", Value: opts.scenario}).Set(1)
+	reg.Help("fraudsim_scenario_info", "Constant 1; the scenario label identifies the run.")
+	return reg
+}
+
+// serveTelemetry boots the obs mux on addr and reports the bound address
+// on stderr (useful with :0). The caller owns shutdown via the returned
+// server.
+func serveTelemetry(addr string, reg *obs.Registry, ring *obs.TraceRing, stderr io.Writer) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry listen: %w", err)
 	}
-	horizon := time.Duration(days) * 24 * time.Hour
+	mux := obs.NewMux(obs.ServeConfig{
+		Registry: reg,
+		Traces:   ring,
+		Health:   func() error { return nil },
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "fraudsim: telemetry listening on http://%s\n", ln.Addr())
+	return srv, nil
+}
+
+func run(opts options, stdout, stderr io.Writer) error {
+	if opts.days < 1 {
+		fmt.Fprintf(stderr, "fraudsim: -days %d is invalid; clamped to 1\n", opts.days)
+		opts.days = 1
+	}
+	if opts.honeypot {
+		opts.defend = true
+	}
+	switch opts.scenario {
+	case "seatspin", "smspump", "manual", "mixed":
+	default:
+		return fmt.Errorf("unknown scenario %q", opts.scenario)
+	}
+	horizon := time.Duration(opts.days) * 24 * time.Hour
 	warmup := 2 * 24 * time.Hour
 
-	envCfg := core.DefaultEnvConfig(seed)
+	envCfg := core.DefaultEnvConfig(opts.seed)
 	envCfg.Defence = core.DefenceConfig{
-		Blocklists: defend,
-		Honeypot:   honeypot,
+		Blocklists: opts.defend,
+		Honeypot:   opts.honeypot,
 	}
-	if scenario == "smspump" || scenario == "mixed" {
+	if opts.scenario == "smspump" || opts.scenario == "mixed" {
 		envCfg.Defence.SMSPathLimit = 700
 		envCfg.Defence.SMSPathWindow = 24 * time.Hour
 	}
 	envCfg.TargetDep = core.SimStart.Add(warmup + horizon + 72*time.Hour)
 	env := core.NewEnv(envCfg)
+
+	var reg *obs.Registry
+	if opts.telemetry != nil || opts.serve != "" {
+		reg = buildTelemetry(env, opts, opts.telemetry)
+	}
+	if opts.serve != "" {
+		ring := opts.traces
+		if ring == nil {
+			ring = obs.NewTraceRing(obs.DefaultTraceCapacity)
+		}
+		srv, err := serveTelemetry(opts.serve, reg, ring, stderr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 
 	flights := append(env.FleetIDs(envCfg), envCfg.TargetID)
 	wl := workload.DefaultConfig(flights, core.SimStart.Add(warmup+horizon))
@@ -74,9 +177,9 @@ func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
 	}
 
 	var defender *core.Defender
-	if defend {
+	if opts.defend {
 		dcfg := core.DefaultDefenderConfig()
-		dcfg.RedirectToHoneypot = honeypot
+		dcfg.RedirectToHoneypot = opts.honeypot
 		baseline := env.Bookings.JournalBetween(core.SimStart, core.SimStart.Add(warmup))
 		defender = core.NewDefender(dcfg, env.App, env.Sched, baseline)
 		defender.Start()
@@ -87,7 +190,7 @@ func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
 	var pumper *attack.SMSPumper
 	until := core.SimStart.Add(warmup + horizon)
 
-	if scenario == "seatspin" || scenario == "mixed" {
+	if opts.scenario == "seatspin" || opts.scenario == "mixed" {
 		rot := fingerprint.NewRotator(env.RNG.Derive("rot"),
 			fingerprint.NewGenerator(env.RNG.Derive("fpgen")), fingerprint.WithSpoofing())
 		spinner = attack.NewSeatSpinner(attack.SeatSpinnerConfig{
@@ -102,7 +205,7 @@ func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
 			env.Proxies.NewSession("SG", proxy.RotatePerRequest))
 		spinner.Start()
 	}
-	if scenario == "smspump" || scenario == "mixed" {
+	if opts.scenario == "smspump" || opts.scenario == "mixed" {
 		rot := fingerprint.NewRotator(env.RNG.Derive("prot"),
 			fingerprint.NewGenerator(env.RNG.Derive("pfp")), fingerprint.WithSpoofing())
 		pumper = attack.NewSMSPumper(attack.SMSPumperConfig{
@@ -114,7 +217,7 @@ func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
 		}, env.App, env.App, env.Sched, env.RNG.Derive("pumper"), env.Proxies, rot, env.Registry)
 		pumper.Start()
 	}
-	if scenario == "manual" {
+	if opts.scenario == "manual" {
 		manual = attack.NewManualSpinner(attack.ManualSpinnerConfig{
 			ID:        "manc-1",
 			Flight:    envCfg.TargetID,
@@ -127,21 +230,24 @@ func run(scenario string, days int, seed uint64, defend, honeypot bool) error {
 			env.Proxies.NewSession("TH", proxy.RotatePerRequest))
 		manual.Start()
 	}
-	switch scenario {
-	case "seatspin", "smspump", "manual", "mixed":
-	default:
-		return fmt.Errorf("unknown scenario %q", scenario)
-	}
 
 	if err := env.Run(warmup + horizon); err != nil {
 		return err
 	}
 
-	report(env, envCfg, pop, defender, spinner, manual, pumper)
+	report(stdout, env, envCfg, pop, defender, spinner, manual, pumper)
+
+	if opts.stayUp && opts.serve != "" {
+		fmt.Fprintln(stderr, "fraudsim: report complete; telemetry stays up — interrupt to exit")
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+	}
 	return nil
 }
 
 func report(
+	w io.Writer,
 	env *core.Env,
 	envCfg core.EnvConfig,
 	pop *workload.Population,
@@ -193,5 +299,5 @@ func report(
 	if hp := env.App.Honeypot(); hp != nil {
 		t.AddRow("decoy holds absorbed", metrics.FormatInt(int64(hp.DecoyHolds())))
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(w, t.String())
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"funabuse/internal/app"
@@ -86,7 +87,7 @@ type Application struct {
 	// keyScratch is reused to assemble blocklist keys in screen.
 	keyScratch []byte
 
-	stats Stats
+	stats statCounters
 }
 
 var (
@@ -116,6 +117,32 @@ type Stats struct {
 	RateLimited  int
 	Restricted   int
 	Served       int
+}
+
+// statCounters is the live representation behind Stats: atomics, so a
+// telemetry scrape from another goroutine (fraudsim -serve) can read a
+// running simulation without racing the scheduler thread.
+type statCounters struct {
+	requests     atomic.Int64
+	blocked      atomic.Int64
+	challenged   atomic.Int64
+	challengeRej atomic.Int64
+	rateLimited  atomic.Int64
+	restricted   atomic.Int64
+	served       atomic.Int64
+}
+
+// snapshot reads the counters into the exported Stats shape.
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		Requests:     int(s.requests.Load()),
+		Blocked:      int(s.blocked.Load()),
+		Challenged:   int(s.challenged.Load()),
+		ChallengeRej: int(s.challengeRej.Load()),
+		RateLimited:  int(s.rateLimited.Load()),
+		Restricted:   int(s.restricted.Load()),
+		Served:       int(s.served.Load()),
+	}
 }
 
 // NewApplication wires the substrates behind the defence pipeline.
@@ -194,8 +221,9 @@ func (a *Application) BoardingPass() *sms.BoardingPassService { return a.boardin
 // OTP returns the OTP feature.
 func (a *Application) OTP() *sms.OTPService { return a.otp }
 
-// Stats returns pipeline counters.
-func (a *Application) Stats() Stats { return a.stats }
+// Stats returns a snapshot of the pipeline counters. Safe to call from
+// any goroutine while the simulation runs.
+func (a *Application) Stats() Stats { return a.stats.snapshot() }
 
 // Audit returns a copy of the hold audit trail.
 func (a *Application) Audit() []HoldAudit {
@@ -260,13 +288,14 @@ func (a *Application) record(ctx app.ClientContext, method, path string, status 
 // fingerprint rules. It returns a non-nil error when the request must be
 // rejected.
 func (a *Application) screen(ctx app.ClientContext, method, path string) error {
-	a.stats.Requests++
+	a.stats.requests.Add(1)
 	now := a.clock.Now()
 	if a.cfg.Blocklists {
 		// Candidate keys are assembled in a reused scratch buffer and
 		// probed with BlockedBytes, so screening a clean request costs no
 		// allocations. Application serves one scenario goroutine, so the
-		// scratch field needs no synchronisation (stats fields likewise).
+		// scratch field needs no synchronisation. Stats counters are
+		// atomic only so a -serve telemetry scrape can read them live.
 		buf := append(a.keyScratch[:0], "fp:"...)
 		buf = strconv.AppendUint(buf, ctx.Fingerprint.Hash(), 16)
 		blocked := a.blocks.BlockedBytes(buf, now)
@@ -282,13 +311,13 @@ func (a *Application) screen(ctx app.ClientContext, method, path string) error {
 		}
 		a.keyScratch = buf
 		if blocked {
-			a.stats.Blocked++
+			a.stats.blocked.Add(1)
 			a.record(ctx, method, path, 403)
 			return app.ErrBlocked
 		}
 	}
 	if v := a.fpRules.Judge(ctx.Fingerprint, now); v.Flagged {
-		a.stats.Blocked++
+		a.stats.blocked.Add(1)
 		a.record(ctx, method, path, 403)
 		return app.ErrBlocked
 	}
@@ -303,7 +332,7 @@ func (a *Application) challenge(ctx app.ClientContext, enabled bool, method, pat
 	if !enabled || !a.captcha.Enabled() {
 		return nil
 	}
-	a.stats.Challenged++
+	a.stats.challenged.Add(1)
 	var pass bool
 	if ctx.Actor.Automated() {
 		pass = a.captcha.ChallengeBot()
@@ -311,7 +340,7 @@ func (a *Application) challenge(ctx app.ClientContext, enabled bool, method, pat
 		pass = a.captcha.ChallengeHuman()
 	}
 	if !pass {
-		a.stats.ChallengeRej++
+		a.stats.challengeRej.Add(1)
 		a.record(ctx, method, path, 403)
 		return app.ErrChallengeFailed
 	}
@@ -351,7 +380,7 @@ func (a *Application) RequestHold(ctx app.ClientContext, req booking.HoldRequest
 	if err != nil {
 		return nil, err
 	}
-	a.stats.Served++
+	a.stats.served.Add(1)
 	return hold, nil
 }
 
@@ -370,7 +399,7 @@ func (a *Application) Confirm(ctx app.ClientContext, id booking.HoldID) (booking
 	t, err := a.bookings.Confirm(id)
 	a.record(ctx, "POST", path, statusOf(err))
 	if err == nil {
-		a.stats.Served++
+		a.stats.served.Add(1)
 	}
 	return t, err
 }
@@ -384,7 +413,7 @@ func (a *Application) Availability(ctx app.ClientContext, id booking.FlightID) (
 	av, err := a.bookings.AvailabilityOf(id)
 	a.record(ctx, "GET", path, statusOf(err))
 	if err == nil {
-		a.stats.Served++
+		a.stats.served.Add(1)
 	}
 	return av, err
 }
@@ -394,7 +423,7 @@ func (a *Application) Availability(ctx app.ClientContext, id booking.FlightID) (
 func (a *Application) smsGates(ctx app.ClientContext, path, locator string) error {
 	now := a.clock.Now()
 	if a.cfg.LoyaltySMS && !a.loyalty.Allow(ctx.ClientKey) {
-		a.stats.Restricted++
+		a.stats.restricted.Add(1)
 		a.record(ctx, "POST", path, 403)
 		return app.ErrRestricted
 	}
@@ -402,17 +431,17 @@ func (a *Application) smsGates(ctx app.ClientContext, path, locator string) erro
 		return err
 	}
 	if a.profileLimiter != nil && !a.profileLimiter.Allow("pf:"+ctx.ClientKey, now) {
-		a.stats.RateLimited++
+		a.stats.rateLimited.Add(1)
 		a.record(ctx, "POST", path, 429)
 		return app.ErrRateLimited
 	}
 	if locator != "" && a.locatorLimiter != nil && !a.locatorLimiter.Allow("loc:"+locator, now) {
-		a.stats.RateLimited++
+		a.stats.rateLimited.Add(1)
 		a.record(ctx, "POST", path, 429)
 		return app.ErrRateLimited
 	}
 	if a.pathLimiter != nil && !a.pathLimiter.Allow("path:"+path, now) {
-		a.stats.RateLimited++
+		a.stats.rateLimited.Add(1)
 		a.record(ctx, "POST", path, 429)
 		return app.ErrRateLimited
 	}
@@ -431,7 +460,7 @@ func (a *Application) RequestOTP(ctx app.ClientContext, to geo.MSISDN, login str
 	_, err := a.otp.Request(to, login, ctx.ActorID)
 	a.record(ctx, "POST", path, statusOf(err))
 	if err == nil {
-		a.stats.Served++
+		a.stats.served.Add(1)
 	}
 	return err
 }
@@ -447,13 +476,13 @@ func (a *Application) SendBoardingPass(ctx app.ClientContext, locator string, to
 	}
 	_, err := a.boarding.Send(locator, to, ctx.ActorID)
 	if errors.Is(err, sms.ErrFeatureDisabled) {
-		a.stats.Restricted++
+		a.stats.restricted.Add(1)
 		a.record(ctx, "POST", path, 403)
 		return app.ErrRestricted
 	}
 	a.record(ctx, "POST", path, statusOf(err))
 	if err == nil {
-		a.stats.Served++
+		a.stats.served.Add(1)
 	}
 	return err
 }
@@ -463,7 +492,7 @@ func (a *Application) Get(ctx app.ClientContext, path string) (int, error) {
 	if err := a.screen(ctx, "GET", path); err != nil {
 		return 403, err
 	}
-	a.stats.Served++
+	a.stats.served.Add(1)
 	a.record(ctx, "GET", path, 200)
 	return 200, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"funabuse/internal/obs"
 	"funabuse/internal/signal"
 	"funabuse/internal/weblog"
 )
@@ -185,3 +186,48 @@ func (m *StreamMonitor) DroppedAlerts() uint64 { return m.dropped.Load() }
 
 // Observed returns how many requests the monitor consumed.
 func (m *StreamMonitor) Observed() uint64 { return m.engine.Observed() }
+
+// StreamStats is the monitor's observability snapshot on the obs
+// contract.
+type StreamStats struct {
+	// Observed is how many requests the monitor consumed.
+	Observed uint64
+	// Flagged is how many identities have crossed a threshold.
+	Flagged int
+	// Alerts is the journal's current length; Dropped counts alerts the
+	// MaxAlerts cap kept out of it.
+	Alerts  int
+	Dropped uint64
+	// TrackedKeys is the engine's live per-identity state count.
+	TrackedKeys int
+}
+
+// Stats snapshots the monitor's counters.
+func (m *StreamMonitor) Stats() StreamStats {
+	m.mu.Lock()
+	flagged, alerts := len(m.flagged), len(m.alerts)
+	m.mu.Unlock()
+	return StreamStats{
+		Observed:    m.Observed(),
+		Flagged:     flagged,
+		Alerts:      alerts,
+		Dropped:     m.DroppedAlerts(),
+		TrackedKeys: m.engine.TrackedKeys(),
+	}
+}
+
+// Collector exposes the monitor on the obs snapshot contract. This
+// supersedes polling Observed/DroppedAlerts and counting FlaggedKeys by
+// hand; those accessors remain as thin adapters.
+func (m *StreamMonitor) Collector() obs.Collector {
+	return obs.CollectorFunc(func(dst []obs.Sample) []obs.Sample {
+		st := m.Stats()
+		return append(dst,
+			obs.Sample{Name: "stream_observed_total", Value: float64(st.Observed)},
+			obs.Sample{Name: "stream_flagged_identities", Value: float64(st.Flagged)},
+			obs.Sample{Name: "stream_alerts_journaled", Value: float64(st.Alerts)},
+			obs.Sample{Name: "stream_alerts_dropped_total", Value: float64(st.Dropped)},
+			obs.Sample{Name: "stream_tracked_keys", Value: float64(st.TrackedKeys)},
+		)
+	})
+}

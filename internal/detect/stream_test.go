@@ -202,3 +202,37 @@ func TestStreamMonitorConcurrentObserve(t *testing.T) {
 		t.Fatalf("%d alerts, want 8", got)
 	}
 }
+
+func TestStreamMonitorStatsAndCollector(t *testing.T) {
+	m := NewStreamMonitor(StreamConfig{
+		RateWindow:    time.Hour,
+		RateThreshold: 2,
+		MaxAlerts:     1,
+	})
+	// Two identities cross the rate threshold; the journal cap of 1 drops
+	// the second alert but still flags the identity.
+	for i := range 3 {
+		m.Observe(streamReq(st0.Add(time.Duration(i)*time.Second), "1.1.1.1", 0xa, "c1"))
+	}
+	for i := range 3 {
+		m.Observe(streamReq(st0.Add(time.Duration(i)*time.Second), "2.2.2.2", 0xb, "c2"))
+	}
+
+	st := m.Stats()
+	if st.Observed != 6 || st.Flagged != 2 || st.Alerts != 1 || st.Dropped != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.TrackedKeys != 2 {
+		t.Fatalf("TrackedKeys = %d, want 2", st.TrackedKeys)
+	}
+
+	byName := map[string]float64{}
+	for _, s := range m.Collector().Collect(nil) {
+		byName[s.Name] = s.Value
+	}
+	if byName["stream_flagged_identities"] != 2 ||
+		byName["stream_alerts_dropped_total"] != 1 ||
+		byName["stream_observed_total"] != 6 {
+		t.Fatalf("collector samples = %v", byName)
+	}
+}

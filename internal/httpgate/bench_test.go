@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
 	"funabuse/internal/simclock"
 )
 
@@ -88,6 +89,42 @@ func BenchmarkGateDecideResilient(b *testing.B) {
 			_, sid := benchRequest(i)
 			info := ClientInfo{IP: "203.0.113.7", ClientKey: sid, HasFingerprint: true}
 			g.decide(reqs[i%8], info)
+			i++
+		}
+	})
+}
+
+// BenchmarkGateDecideInstrumented is BenchmarkGateDecideResilient with
+// full telemetry enabled — registry, latency histogram, denial counters
+// and the decision-trace ring. The acceptance criterion for the obs PR:
+// same allocs/op as the bare sharded path.
+func BenchmarkGateDecideInstrumented(b *testing.B) {
+	clock := simclock.NewManual(t0)
+	g := New(Config{
+		Clock:         clock,
+		ProfileLimit:  1 << 30,
+		ProfileWindow: time.Hour,
+		PathLimit:     1 << 30,
+		PathWindow:    time.Hour,
+	}, WithResilience(ResilienceConfig{}),
+		WithTelemetry(obs.NewRegistry()),
+		WithTraces(obs.NewTraceRing(4096)))
+	reqs := make([]*http.Request, 8)
+	for i := range reqs {
+		path, _ := benchRequest(i)
+		reqs[i] = httptest.NewRequest(http.MethodGet, path, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, sid := benchRequest(i)
+			info := ClientInfo{IP: "203.0.113.7", ClientKey: sid, HasFingerprint: true}
+			r := reqs[i%8]
+			start := clock.Now()
+			reason, _, mask := g.decide(r, info)
+			g.observeDecision(start, r.URL.Path, reason, mask)
 			i++
 		}
 	})

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
 	"funabuse/internal/resilience"
 	"funabuse/internal/signal"
 	"funabuse/internal/simclock"
@@ -224,6 +225,12 @@ type Config struct {
 	// WindowBuckets is the expiry granularity of the limiter bucket
 	// rings; zero selects signal.DefaultWindowBuckets.
 	WindowBuckets int
+
+	// telemetry and traces are set only through WithTelemetry and
+	// WithTraces: new cross-cutting concerns arrive as options, not as
+	// further growth of this struct.
+	telemetry *obs.Registry
+	traces    *obs.TraceRing
 }
 
 // layerGuard is one layer's resilience state: its breaker (nil without a
@@ -280,10 +287,19 @@ type Gate struct {
 	admitted atomic.Uint64
 	denied   atomic.Uint64
 	degraded atomic.Uint64
+
+	// tel holds pre-resolved telemetry handles; nil without WithTelemetry
+	// or WithTraces.
+	tel *gateTelemetry
 }
 
-// New builds a Gate from cfg.
-func New(cfg Config) *Gate {
+// New builds a Gate from cfg, then applies opts in order. Options are the
+// growth surface for cross-cutting concerns (WithClock, WithResilience,
+// WithTelemetry, ...); plain New(cfg) construction keeps working.
+func New(cfg Config, opts ...Option) *Gate {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	clock := cfg.Clock
 	if clock == nil {
 		clock = simclock.Real{}
@@ -362,6 +378,7 @@ func New(cfg Config) *Gate {
 			}
 		}
 	}
+	g.initTelemetry(cfg.telemetry, cfg.traces)
 	return g
 }
 
@@ -373,6 +390,11 @@ func limiterCheck(l *signal.Limiter) CheckFunc {
 }
 
 // Admitted returns how many requests passed every layer.
+//
+// Admitted, Denied, Degraded and LayerStats are retained as thin adapters
+// over the gate's atomics for one release; the same readings are exposed
+// through Collector on the obs.Registry contract, which is the supported
+// surface going forward.
 func (g *Gate) Admitted() uint64 { return g.admitted.Load() }
 
 // Denied returns how many requests any layer rejected.
@@ -406,6 +428,7 @@ func (g *Gate) Breaker(l Layer) *resilience.Breaker { return g.guards[l].breaker
 // Wrap returns next guarded by the gate.
 func (g *Gate) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := g.clock.Now()
 		info := g.client(r)
 		reason, status, mask := g.decide(r, info)
 
@@ -423,6 +446,7 @@ func (g *Gate) Wrap(next http.Handler) http.Handler {
 		} else {
 			g.admitted.Add(1)
 		}
+		g.observeDecision(start, r.URL.Path, reason, mask)
 		if mask != 0 {
 			g.degraded.Add(1)
 			w.Header().Set(DegradedHeader, degradedNames[mask])

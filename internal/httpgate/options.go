@@ -1,0 +1,51 @@
+package httpgate
+
+import (
+	"funabuse/internal/obs"
+	"funabuse/internal/simclock"
+)
+
+// Option tunes a Gate at construction. Options exist so cross-cutting
+// concerns (clock, resilience, telemetry, sharding) stop growing the
+// monolithic Config struct: New(cfg) keeps compiling unchanged, and new
+// capabilities arrive as WithX options instead of new Config fields.
+type Option func(*Config)
+
+// WithClock supplies the gate's time source (overrides Config.Clock).
+func WithClock(c simclock.Clock) Option {
+	return func(cfg *Config) { cfg.Clock = c }
+}
+
+// WithResilience puts every enabled fallible layer behind its own circuit
+// breaker with rc's fail policies (overrides Config.Resilience).
+func WithResilience(rc ResilienceConfig) Option {
+	return func(cfg *Config) { cfg.Resilience = &rc }
+}
+
+// WithTelemetry plumbs the gate onto an obs.Registry: the gate's
+// Collector (admitted/denied/degraded totals, per-layer error, panic and
+// degradation counters, breaker states) is registered for scraping, and
+// the gate records a decision-latency histogram and per-reason denial
+// counters live. Telemetry adds no allocations to the decision hot path.
+func WithTelemetry(reg *obs.Registry) Option {
+	return func(cfg *Config) { cfg.telemetry = reg }
+}
+
+// WithTraces journals every decision into ring as an obs.Span (path,
+// verdict, latency, degraded layers). Recording copies into preallocated
+// slots and adds no allocations to the decision path.
+func WithTraces(ring *obs.TraceRing) Option {
+	return func(cfg *Config) { cfg.traces = ring }
+}
+
+// WithShards sets the lock-stripe count for each rate-limiting layer
+// (overrides Config.Shards).
+func WithShards(n int) Option {
+	return func(cfg *Config) { cfg.Shards = n }
+}
+
+// WithWindowBuckets sets the expiry granularity of the limiter bucket
+// rings (overrides Config.WindowBuckets).
+func WithWindowBuckets(n int) Option {
+	return func(cfg *Config) { cfg.WindowBuckets = n }
+}

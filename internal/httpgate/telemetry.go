@@ -1,0 +1,122 @@
+package httpgate
+
+import (
+	"time"
+
+	"funabuse/internal/obs"
+)
+
+// Gate metric names. The per-layer families carry a layer label; the
+// denial family carries the ReasonHeader value as its reason label.
+const (
+	metricAdmitted       = "gate_admitted_total"
+	metricDenied         = "gate_denied_total"
+	metricDegradedTotal  = "gate_degraded_decisions_total"
+	metricDenials        = "gate_denials_total"
+	metricLatency        = "gate_decision_seconds"
+	metricLayerErrors    = "gate_layer_errors_total"
+	metricLayerPanics    = "gate_layer_panics_total"
+	metricLayerDegraded  = "gate_layer_degraded_total"
+	metricBreakerState   = "gate_layer_breaker_state"
+	metricBreakerOpens   = "gate_layer_breaker_opens_total"
+	metricBreakerShorted = "gate_layer_breaker_short_circuits_total"
+)
+
+// gateTelemetry holds the gate's live metric handles, pre-resolved at
+// construction so the serving path touches only atomics.
+type gateTelemetry struct {
+	latency *obs.Histogram
+	denials map[string]*obs.Counter
+	traces  *obs.TraceRing
+}
+
+// allReasons enumerates every ReasonHeader value the gate can emit, so
+// the per-reason denial counters exist (at zero) from the first scrape.
+var allReasons = []string{
+	ReasonBlocklist, ReasonChallenge, ReasonProfile,
+	ReasonResource, ReasonPathLimit, ReasonDecision,
+}
+
+// newGateTelemetry wires the gate onto a registry (and optionally a trace
+// ring) and registers the gate's collector. reg may be nil when only
+// tracing is enabled.
+func (g *Gate) initTelemetry(reg *obs.Registry, traces *obs.TraceRing) {
+	if reg == nil && traces == nil {
+		return
+	}
+	tel := &gateTelemetry{traces: traces}
+	if reg != nil {
+		reg.Help(metricLatency, "Gate decision latency in seconds.")
+		reg.Help(metricDenials, "Denied requests by denial reason.")
+		tel.latency = reg.Histogram(metricLatency, nil)
+		tel.denials = make(map[string]*obs.Counter, len(allReasons))
+		for _, reason := range allReasons {
+			tel.denials[reason] = reg.Counter(metricDenials, obs.Label{Name: "reason", Value: reason})
+		}
+		reg.Register(g.Collector())
+	}
+	g.tel = tel
+}
+
+// observeDecision records one decision's telemetry: latency, the denial
+// reason counter, and a trace span. It is allocation-free — handles are
+// pre-resolved and the span is copied into a preallocated ring slot — so
+// the instrumented hot path costs exactly what the bare one does.
+func (g *Gate) observeDecision(start time.Time, path, reason string, mask uint8) {
+	tel := g.tel
+	if tel == nil {
+		return
+	}
+	dur := g.clock.Now().Sub(start)
+	if tel.latency != nil {
+		tel.latency.Observe(dur.Seconds())
+	}
+	verdict := obs.VerdictAdmit
+	if reason != "" {
+		verdict = reason
+		if c := tel.denials[reason]; c != nil {
+			c.Inc()
+		}
+	}
+	if tel.traces != nil {
+		tel.traces.Record(obs.Span{
+			Start:    start,
+			Dur:      dur,
+			Path:     path,
+			Verdict:  verdict,
+			Degraded: degradedNames[mask],
+		})
+	}
+}
+
+// Collector exposes the gate's decision and per-layer resilience counters
+// as the obs snapshot contract. It reads the same atomics the legacy
+// accessors (Admitted, Denied, Degraded, LayerStats) read; those methods
+// remain as thin adapters for one release and new consumers should scrape
+// the collector instead.
+func (g *Gate) Collector() obs.Collector {
+	return obs.CollectorFunc(func(dst []obs.Sample) []obs.Sample {
+		dst = append(dst,
+			obs.Sample{Name: metricAdmitted, Value: float64(g.Admitted())},
+			obs.Sample{Name: metricDenied, Value: float64(g.Denied())},
+			obs.Sample{Name: metricDegradedTotal, Value: float64(g.Degraded())},
+		)
+		for l := LayerBlocklist; l < numLayers; l++ {
+			st := g.LayerStats(l)
+			lbl := []obs.Label{{Name: "layer", Value: l.String()}}
+			dst = append(dst,
+				obs.Sample{Name: metricLayerErrors, Labels: lbl, Value: float64(st.Errors)},
+				obs.Sample{Name: metricLayerPanics, Labels: lbl, Value: float64(st.Panics)},
+				obs.Sample{Name: metricLayerDegraded, Labels: lbl, Value: float64(st.Degraded)},
+			)
+			if b := g.guards[l].breaker; b != nil {
+				dst = append(dst,
+					obs.Sample{Name: metricBreakerState, Labels: lbl, Value: float64(st.State)},
+					obs.Sample{Name: metricBreakerOpens, Labels: lbl, Value: float64(st.BreakerOpens)},
+					obs.Sample{Name: metricBreakerShorted, Labels: lbl, Value: float64(b.ShortCircuits())},
+				)
+			}
+		}
+		return dst
+	})
+}

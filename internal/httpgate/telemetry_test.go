@@ -1,0 +1,201 @@
+package httpgate
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
+	"funabuse/internal/simclock"
+)
+
+func telemetryGate(reg *obs.Registry, ring *obs.TraceRing, opts ...Option) *Gate {
+	base := []Option{WithTelemetry(reg), WithTraces(ring)}
+	return New(Config{
+		Clock:         simclock.NewManual(t0),
+		Blocks:        mitigate.NewBlockList(0),
+		ProfileLimit:  2,
+		ProfileWindow: time.Hour,
+		PathLimit:     1 << 30,
+		PathWindow:    time.Hour,
+	}, append(base, opts...)...)
+}
+
+func doGet(t *testing.T, h http.Handler, path, sid string) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, path, nil)
+	r.RemoteAddr = "203.0.113.9:4711"
+	r.Header.Set(FingerprintHeader, "beef")
+	if sid != "" {
+		r.AddCookie(&http.Cookie{Name: ClientCookie, Value: sid})
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func findSample(t *testing.T, samples []obs.Sample, name string, labels ...obs.Label) float64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for i, l := range labels {
+			if s.Labels[i] != l {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	t.Fatalf("sample %s%v not found", name, labels)
+	return 0
+}
+
+// TestGateTelemetryCountsDecisions drives admitted and denied requests
+// through an instrumented gate and checks the registry and trace journal
+// agree with the legacy accessors.
+func TestGateTelemetryCountsDecisions(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(16)
+	g := telemetryGate(reg, ring)
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+
+	// Two admitted, then the profile limit (2/hour) denies the third.
+	for i := 0; i < 3; i++ {
+		doGet(t, h, "/booking/1", "sid-1")
+	}
+
+	samples := reg.Gather()
+	if got := findSample(t, samples, metricAdmitted); got != 2 {
+		t.Fatalf("admitted = %v, want 2", got)
+	}
+	if got := findSample(t, samples, metricDenied); got != 1 {
+		t.Fatalf("denied = %v, want 1", got)
+	}
+	if got := findSample(t, samples, metricDenials, obs.Label{Name: "reason", Value: ReasonProfile}); got != 1 {
+		t.Fatalf("profile denials = %v, want 1", got)
+	}
+	if got := findSample(t, samples, metricLatency+"_count"); got != 3 {
+		t.Fatalf("latency count = %v, want 3", got)
+	}
+	// Legacy accessors and the collector read the same atomics.
+	if g.Admitted() != 2 || g.Denied() != 1 {
+		t.Fatalf("legacy accessors disagree: admitted %d denied %d", g.Admitted(), g.Denied())
+	}
+
+	spans := ring.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("trace spans = %d, want 3", len(spans))
+	}
+	if spans[0].Verdict != obs.VerdictAdmit || spans[2].Verdict != ReasonProfile {
+		t.Fatalf("span verdicts = %q, %q", spans[0].Verdict, spans[2].Verdict)
+	}
+	if spans[2].Path != "/booking/1" {
+		t.Fatalf("span path = %q", spans[2].Path)
+	}
+}
+
+// TestGateTelemetryExposition renders an instrumented gate through a full
+// registry scrape and checks the output parses.
+func TestGateTelemetryExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := telemetryGate(reg, nil, WithResilience(ResilienceConfig{}))
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	doGet(t, h, "/booking/2", "sid-9")
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("gate exposition unparseable: %v\n%s", err, b.String())
+	}
+	if got := findSample(t, samples, metricBreakerState, obs.Label{Name: "layer", Value: "profile"}); got != 0 {
+		t.Fatalf("profile breaker state = %v, want 0 (closed)", got)
+	}
+}
+
+// TestWithClockOption proves the option overrides the Config field.
+func TestWithClockOption(t *testing.T) {
+	manual := simclock.NewManual(t0.Add(42 * time.Hour))
+	g := New(Config{}, WithClock(manual))
+	if got := g.clock.Now(); !got.Equal(t0.Add(42 * time.Hour)) {
+		t.Fatalf("clock now = %v", got)
+	}
+}
+
+// TestWithResilienceOption proves option-built gates get breakers exactly
+// like Config.Resilience ones.
+func TestWithResilienceOption(t *testing.T) {
+	g := New(Config{
+		Clock:      simclock.NewManual(t0),
+		Blocks:     mitigate.NewBlockList(0),
+		PathLimit:  1,
+		PathWindow: time.Hour,
+	}, WithResilience(ResilienceConfig{}))
+	if g.Breaker(LayerBlocklist) == nil || g.Breaker(LayerPath) == nil {
+		t.Fatal("option-configured resilience did not build breakers")
+	}
+	if g.Breaker(LayerChallenge) != nil {
+		t.Fatal("disabled layer got a breaker")
+	}
+}
+
+// TestDecideInstrumentedAddsNoAllocs pins the tentpole acceptance
+// criterion: with telemetry and tracing enabled (and every layer behind a
+// closed breaker), the admitted hot path — decide plus the telemetry
+// record — allocates exactly as much as the bare gate's decide, and no
+// more than the 4 allocs/op the seed benchmarks established.
+func TestDecideInstrumentedAddsNoAllocs(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/booking/1", nil)
+	info := ClientInfo{IP: "203.0.113.7", ClientKey: "user-1", Fingerprint: 0xabc, HasFingerprint: true}
+
+	plain := testing.AllocsPerRun(512, func() {
+		g := plainGate
+		if reason, _, mask := g.decide(r, info); reason != "" || mask != 0 {
+			t.Fatalf("plain: reason %q mask %d", reason, mask)
+		}
+	})
+	instrumented := testing.AllocsPerRun(512, func() {
+		g := instrumentedGate
+		start := g.clock.Now()
+		reason, _, mask := g.decide(r, info)
+		if reason != "" || mask != 0 {
+			t.Fatalf("instrumented: reason %q mask %d", reason, mask)
+		}
+		g.observeDecision(start, r.URL.Path, reason, mask)
+	})
+	if instrumented > plain {
+		t.Fatalf("instrumented decide allocates %v/op vs %v/op bare", instrumented, plain)
+	}
+	if plain > 4 {
+		t.Fatalf("bare decide allocates %v/op, budget is 4", plain)
+	}
+}
+
+// Package-level gates for the alloc test so AllocsPerRun closures do not
+// capture freshly built gates (construction noise must stay outside the
+// measured region). The config mirrors BenchmarkGateDecideSharded — the
+// configuration whose 4 allocs/op is the budget this PR holds.
+var (
+	allocGateConfig = Config{
+		ProfileLimit:  1 << 30,
+		ProfileWindow: time.Hour,
+		PathLimit:     1 << 30,
+		PathWindow:    time.Hour,
+	}
+	plainGate        = New(allocGateConfig, WithClock(simclock.NewManual(t0)))
+	instrumentedGate = New(allocGateConfig,
+		WithClock(simclock.NewManual(t0)),
+		WithResilience(ResilienceConfig{}),
+		WithTelemetry(obs.NewRegistry()),
+		WithTraces(obs.NewTraceRing(1024)))
+)

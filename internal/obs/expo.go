@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry's current samples in the
+// Prometheus text exposition format (version 0.0.4): optional # HELP and
+// # TYPE lines per family, then one sample line per series. The output is
+// deterministic for a quiesced system — families sorted by name, series
+// in emission order — so repeated scrapes of an idle simulation are
+// byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+
+	// Group samples by family so histogram expansions (_bucket/_sum/
+	// _count) stay under one TYPE line.
+	type row struct {
+		s      Sample
+		family string
+	}
+	rows := make([]row, len(samples))
+	for i, s := range samples {
+		rows[i] = row{s: s, family: r.familyFor(s.Name)}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].family < rows[j].family })
+
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for i, rw := range rows {
+		if i == 0 || rw.family != lastFamily {
+			lastFamily = rw.family
+			if help := r.helpFor(rw.family); help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", rw.family, escapeHelp(help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", rw.family, r.kindFor(rw.family))
+		}
+		bw.WriteString(metricID(rw.s.Name, rw.s.Labels))
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(rw.s.Value))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// familyFor maps a sample name to its exposition family: histogram
+// expansion suffixes fold back onto the registered histogram family;
+// every other name is its own family.
+func (r *Registry) familyFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && base != "" {
+			if r.families[base] == KindHistogram {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// kindFor reports the family kind the registry will expose for a family
+// name; families contributed only by external Collectors are untyped.
+func (r *Registry) kindFor(family string) Kind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.families[family]
+}
+
+// formatValue renders a sample value in the shortest exact form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a help string for the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

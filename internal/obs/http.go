@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// ServeConfig assembles the live observability surface.
+type ServeConfig struct {
+	// Registry backs /metrics; nil serves an empty exposition.
+	Registry *Registry
+	// Traces backs /debug/traces; nil disables the route (404).
+	Traces *TraceRing
+	// Health, when non-nil, is consulted by /healthz: a non-nil error
+	// reports 503 with the error text. Nil means always healthy.
+	Health func() error
+}
+
+// NewMux returns the serving mux for a running defence pipeline:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness (200 ok / 503 with the health error)
+//	/debug/traces  the decision-trace journal as JSON, newest last
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Mount it on its own listener (cmd/fraudsim -serve) or under an
+// operator-only route of an existing server.
+func NewMux(cfg ServeConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	if cfg.Traces != nil {
+		traces := cfg.Traces
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			spans := traces.Snapshot()
+			// ?n=K keeps only the newest K spans.
+			if nStr := r.URL.Query().Get("n"); nStr != "" {
+				if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+					spans = spans[len(spans)-n:]
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Total uint64 `json:"total"`
+				Spans []Span `json:"spans"`
+			}{Total: traces.Total(), Spans: spans})
+		})
+	}
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

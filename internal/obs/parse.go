@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus text-exposition output back into samples —
+// the strict reader the golden and smoke tests scrape /metrics through,
+// so an unparseable line is a test failure, not a silent skip. Comment
+// lines (# HELP, # TYPE) are validated and discarded; every other
+// non-blank line must be `name{labels} value`.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkComment validates a # HELP / # TYPE line.
+func checkComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !ValidName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !ValidName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+	default:
+		return fmt.Errorf("unknown comment keyword in %q", line)
+	}
+	return nil
+}
+
+// parseSampleLine parses `name value` or `name{l1="v1",l2="v2"} value`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unclosed label set in %q", line)
+		}
+		labels, err := parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !ValidName(name) {
+		return s, fmt.Errorf("invalid metric name %q", name)
+	}
+	s.Name = name
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	// A timestamp after the value is legal in the format; reject it here —
+	// the registry never emits one, so its presence is a corruption signal.
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(in string) ([]Label, error) {
+	var labels []Label
+	rest := in
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value")
+		}
+		name := rest[:eq]
+		if !ValidLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c", rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		labels = append(labels, Label{Name: name, Value: b.String()})
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return labels, nil
+}

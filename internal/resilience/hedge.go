@@ -32,6 +32,7 @@ func WithTimeout(d time.Duration, fn func() error) error {
 	case err := <-done:
 		return err
 	case <-timer.C:
+		wrappers.timeouts.Add(1)
 		return ErrTimeout
 	}
 }
@@ -56,6 +57,7 @@ func Hedge(delay time.Duration, fn func() error) error {
 	case err := <-done:
 		return err
 	case <-timer.C:
+		wrappers.hedgesLaunched.Add(1)
 		go func() { done <- Safe(fn) }()
 		return <-done
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"funabuse/internal/metrics"
+	"funabuse/internal/obs"
 )
 
 // Metric is one named scalar an experiment reports for a seed.
@@ -47,6 +48,48 @@ type Config struct {
 	// BaseSeed is the first seed; replicate i runs seed BaseSeed+i.
 	// 0 means 1 (seed 0 is reserved by convention for "unset").
 	BaseSeed uint64
+	// Telemetry, when non-nil, receives replicate throughput metrics:
+	// runner_replicates_total{experiment,status} and the
+	// runner_replicate_seconds{experiment} histogram. Handles are
+	// resolved once per Run and updated from the worker goroutines.
+	Telemetry *obs.Registry
+}
+
+// replicateSecondsBuckets spans the realistic replicate wall-clock range:
+// milliseconds for micro-experiments up to minutes for chaos sweeps.
+var replicateSecondsBuckets = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// runTelemetry holds the per-Run metric handles (nil handles when no
+// registry is configured).
+type runTelemetry struct {
+	ok, errs *obs.Counter
+	seconds  *obs.Histogram
+}
+
+func newRunTelemetry(reg *obs.Registry, experiment string) runTelemetry {
+	if reg == nil {
+		return runTelemetry{}
+	}
+	exp := obs.Label{Name: "experiment", Value: experiment}
+	return runTelemetry{
+		ok:      reg.Counter("runner_replicates_total", exp, obs.Label{Name: "status", Value: "ok"}),
+		errs:    reg.Counter("runner_replicates_total", exp, obs.Label{Name: "status", Value: "err"}),
+		seconds: reg.Histogram("runner_replicate_seconds", replicateSecondsBuckets, exp),
+	}
+}
+
+func (t runTelemetry) record(elapsed time.Duration, err error) {
+	if t.seconds == nil {
+		return
+	}
+	t.seconds.Observe(elapsed.Seconds())
+	if err != nil {
+		t.errs.Inc()
+	} else {
+		t.ok.Inc()
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +145,7 @@ func Run(name string, cfg Config, fn Func) (*Summary, error) {
 	errs := make([]error, cfg.Replicates)
 	wall := metrics.NewShardedRunning()
 	outcomes := metrics.NewShardedKeyedCounter()
+	tel := newRunTelemetry(cfg.Telemetry, name)
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -112,7 +156,9 @@ func Run(name string, cfg Config, fn Func) (*Summary, error) {
 			for i := range jobs {
 				t0 := time.Now()
 				s, err := fn(cfg.BaseSeed + uint64(i))
-				wall.ObserveAt(worker, time.Since(t0).Seconds())
+				elapsed := time.Since(t0)
+				wall.ObserveAt(worker, elapsed.Seconds())
+				tel.record(elapsed, err)
 				if err != nil {
 					outcomes.Inc("err")
 					errs[i] = err

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"funabuse/internal/obs"
 )
 
 // synthetic replicate: a deterministic function of the seed with two
@@ -123,5 +125,52 @@ func TestConfigDefaults(t *testing.T) {
 	c = Config{Replicates: 4, Workers: 16}.withDefaults()
 	if c.Workers != 4 {
 		t.Fatalf("workers not clamped to replicates: %d", c.Workers)
+	}
+}
+
+func TestRunTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	fn := func(seed uint64) (Sample, error) {
+		return Sample{{Name: "seed", Value: float64(seed)}}, nil
+	}
+	if _, err := Run("telemetry", Config{Replicates: 6, Workers: 3, Telemetry: reg}, fn); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]float64{}
+	for _, s := range reg.Gather() {
+		id := s.Name
+		for _, l := range s.Labels {
+			id += "|" + l.Name + "=" + l.Value
+		}
+		byID[id] = s.Value
+	}
+	if got := byID["runner_replicates_total|experiment=telemetry|status=ok"]; got != 6 {
+		t.Fatalf("ok replicates = %v, want 6", got)
+	}
+	if got := byID["runner_replicates_total|experiment=telemetry|status=err"]; got != 0 {
+		t.Fatalf("err replicates = %v, want 0", got)
+	}
+	if got := byID["runner_replicate_seconds_count|experiment=telemetry"]; got != 6 {
+		t.Fatalf("replicate seconds count = %v, want 6", got)
+	}
+}
+
+func TestRunTelemetryCountsErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	fn := func(seed uint64) (Sample, error) {
+		if seed == 2 {
+			return nil, errors.New("boom")
+		}
+		return Sample{{Name: "seed", Value: float64(seed)}}, nil
+	}
+	_, err := Run("telemetry_err", Config{Replicates: 3, Workers: 1, Telemetry: reg}, fn)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	errs := reg.Counter("runner_replicates_total",
+		obs.Label{Name: "experiment", Value: "telemetry_err"},
+		obs.Label{Name: "status", Value: "err"})
+	if errs.Value() != 1 {
+		t.Fatalf("err counter = %d, want 1", errs.Value())
 	}
 }

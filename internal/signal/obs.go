@@ -1,0 +1,21 @@
+package signal
+
+import "funabuse/internal/obs"
+
+// Collector exposes the engine's totals on the obs snapshot contract.
+// dim labels the samples with the engine's dimension (e.g. "country",
+// "path", "fingerprint") so one registry can scrape several engines.
+// This supersedes polling Observed/TrackedKeys by hand; those accessors
+// remain as thin adapters.
+func (e *Engine) Collector(dim string) obs.Collector {
+	labels := []obs.Label{{Name: "dim", Value: dim}}
+	return obs.CollectorFunc(func(dst []obs.Sample) []obs.Sample {
+		st := e.Stats()
+		return append(dst,
+			obs.Sample{Name: "signal_engine_observed_total", Labels: labels, Value: float64(st.Observed)},
+			obs.Sample{Name: "signal_engine_tracked_keys", Labels: labels, Value: float64(st.TrackedKeys)},
+			obs.Sample{Name: "signal_engine_sweeps_total", Labels: labels, Value: float64(st.Sweeps)},
+			obs.Sample{Name: "signal_engine_shards", Labels: labels, Value: float64(st.Shards)},
+		)
+	})
+}

@@ -1,0 +1,56 @@
+package signal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineStatsSnapshot(t *testing.T) {
+	t0 := time.Date(2022, time.December, 1, 0, 0, 0, 0, time.UTC)
+	e := NewEngine(EngineConfig{Shards: 4, Window: time.Hour})
+	e.Observe("a", t0)
+	e.Observe("b", t0)
+	e.ObserveAttr("a", "ip1", t0.Add(time.Minute))
+
+	st := e.Stats()
+	if st.Observed != 3 {
+		t.Fatalf("Observed = %d, want 3", st.Observed)
+	}
+	if st.TrackedKeys != 2 {
+		t.Fatalf("TrackedKeys = %d, want 2", st.TrackedKeys)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards)
+	}
+
+	// An explicit sweep past the window drops both keys and counts.
+	e.Sweep(t0.Add(3 * time.Hour))
+	st = e.Stats()
+	if st.TrackedKeys != 0 {
+		t.Fatalf("TrackedKeys after sweep = %d, want 0", st.TrackedKeys)
+	}
+	if st.Sweeps == 0 {
+		t.Fatal("Sweeps not counted")
+	}
+}
+
+func TestEngineCollectorMatchesStats(t *testing.T) {
+	t0 := time.Date(2022, time.December, 1, 0, 0, 0, 0, time.UTC)
+	e := NewEngine(EngineConfig{})
+	e.Observe("k", t0)
+
+	samples := e.Collector("path").Collect(nil)
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+		if len(s.Labels) != 1 || s.Labels[0].Name != "dim" || s.Labels[0].Value != "path" {
+			t.Fatalf("sample %s labels = %+v", s.Name, s.Labels)
+		}
+	}
+	if byName["signal_engine_observed_total"] != 1 {
+		t.Fatalf("observed sample = %v, want 1", byName["signal_engine_observed_total"])
+	}
+	if byName["signal_engine_tracked_keys"] != 1 {
+		t.Fatalf("tracked sample = %v, want 1", byName["signal_engine_tracked_keys"])
+	}
+}
