@@ -32,9 +32,10 @@ race:
 
 # bench writes the full benchmark sweep (3 samples per benchmark, with
 # allocation stats) as machine-readable go-test JSON for regression
-# tracking across PRs.
+# tracking across PRs. Override BENCH_OUT to keep older snapshots.
+BENCH_OUT ?= BENCH_PR5.json
 bench:
-	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > BENCH_PR3.json
+	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > $(BENCH_OUT)
 
 # bench-smoke proves every benchmark still compiles and completes without
 # measuring anything (one iteration each).

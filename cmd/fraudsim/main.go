@@ -7,10 +7,19 @@
 //	fraudsim -scenario manual   -days 5 -defend
 //	fraudsim -scenario mixed    -days 3 -defend -honeypot
 //	fraudsim -scenario mixed    -days 3 -defend -serve :9090
+//	fraudsim -scenario loadsim  -loadworkers 8
 //
-// All scenarios are deterministic per -seed. With -serve the process
-// exposes /metrics, /healthz, /debug/traces and /debug/pprof while the
-// simulation runs, and stays up after the report until interrupted.
+// The loadsim scenario is different in kind: instead of the in-process
+// simulation it boots a real httpgate-backed HTTP server and replays a
+// seeded mixed-traffic plan against it over sockets, with adaptive
+// attacker clients that rotate fingerprints when blocking rules land.
+// It compares defence arms side by side; see internal/loadgen.
+//
+// All scenarios are deterministic per -seed (loadsim under its default
+// virtual pacing; -loadreal switches to wall-clock pacing). With -serve
+// the process exposes /metrics, /healthz, /debug/traces and /debug/pprof
+// while the simulation runs, and stays up after the report until
+// interrupted.
 package main
 
 import (
@@ -45,6 +54,11 @@ type options struct {
 	defend   bool
 	honeypot bool
 
+	// loadWorkers sizes the loadsim worker fleet; loadReal switches it
+	// from virtual (deterministic) to wall-clock (open-loop) pacing.
+	loadWorkers int
+	loadReal    bool
+
 	// serve exposes the telemetry mux on this address ("" disables).
 	serve string
 	// stayUp blocks after the report until SIGINT/SIGTERM so the serving
@@ -59,22 +73,26 @@ type options struct {
 }
 
 func main() {
-	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed")
+	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim")
 	days := flag.Int("days", 7, "attack duration in simulated days")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	defend := flag.Bool("defend", false, "run the adaptive defender")
 	honeypot := flag.Bool("honeypot", false, "redirect flagged clients to decoy inventory (implies -defend)")
 	serve := flag.String("serve", "", "address for /metrics, /healthz and /debug endpoints (e.g. :9090); stays up after the report")
+	loadWorkers := flag.Int("loadworkers", 4, "loadsim worker fleet size")
+	loadReal := flag.Bool("loadreal", false, "pace loadsim on the wall clock (open-loop) instead of the deterministic virtual clock")
 	flag.Parse()
 
 	opts := options{
-		scenario: *scenario,
-		days:     *days,
-		seed:     *seed,
-		defend:   *defend,
-		honeypot: *honeypot,
-		serve:    *serve,
-		stayUp:   *serve != "",
+		scenario:    *scenario,
+		days:        *days,
+		seed:        *seed,
+		defend:      *defend,
+		honeypot:    *honeypot,
+		serve:       *serve,
+		stayUp:      *serve != "",
+		loadWorkers: *loadWorkers,
+		loadReal:    *loadReal,
 	}
 	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "fraudsim:", err)
@@ -130,6 +148,8 @@ func run(opts options, stdout, stderr io.Writer) error {
 		opts.defend = true
 	}
 	switch opts.scenario {
+	case "loadsim":
+		return runLoadsim(opts, stdout, stderr)
 	case "seatspin", "smspump", "manual", "mixed":
 	default:
 		return fmt.Errorf("unknown scenario %q", opts.scenario)
@@ -238,12 +258,18 @@ func run(opts options, stdout, stderr io.Writer) error {
 	report(stdout, env, envCfg, pop, defender, spinner, manual, pumper)
 
 	if opts.stayUp && opts.serve != "" {
-		fmt.Fprintln(stderr, "fraudsim: report complete; telemetry stays up — interrupt to exit")
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
-		<-ctx.Done()
+		waitForInterrupt(stderr)
 	}
 	return nil
+}
+
+// waitForInterrupt blocks until SIGINT/SIGTERM so the telemetry surface
+// outlives the report.
+func waitForInterrupt(stderr io.Writer) {
+	fmt.Fprintln(stderr, "fraudsim: report complete; telemetry stays up — interrupt to exit")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
 }
 
 func report(

@@ -16,6 +16,7 @@ import (
 
 	"funabuse/internal/httpgate"
 	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
 	"funabuse/internal/simclock"
 )
 
@@ -114,6 +115,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("\ngate totals: admitted=%d denied=%d\n", gate.Admitted(), gate.Denied())
+	admitted, _ := obs.Value(gate.Collector(), httpgate.MetricAdmitted)
+	denied, _ := obs.Value(gate.Collector(), httpgate.MetricDenied)
+	fmt.Printf("\ngate totals: admitted=%.0f denied=%.0f\n", admitted, denied)
 	return nil
 }

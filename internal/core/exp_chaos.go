@@ -10,6 +10,7 @@ import (
 	"funabuse/internal/faultinject"
 	"funabuse/internal/httpgate"
 	"funabuse/internal/metrics"
+	"funabuse/internal/obs"
 	"funabuse/internal/resilience"
 	"funabuse/internal/signal"
 	"funabuse/internal/simclock"
@@ -320,11 +321,15 @@ func RunChaos(seed uint64) (ChaosResult, error) {
 			g := wl.build(clock, inj, policy)
 			verdicts := replayChaos(wl.events, clock, g)
 
+			col := g.Collector()
+			degraded, _ := obs.Value(col, httpgate.MetricDegraded)
+			opens, _ := obs.Value(col, httpgate.MetricBreakerOpens,
+				obs.Label{Name: "layer", Value: wl.layer.String()})
 			arm := ChaosArm{
 				Workload:     wl.name,
 				Policy:       policy,
-				Degraded:     g.Degraded(),
-				BreakerOpens: g.LayerStats(wl.layer).BreakerOpens,
+				Degraded:     uint64(degraded),
+				BreakerOpens: uint64(opens),
 			}
 			for i, ev := range wl.events {
 				if ev.abusive {

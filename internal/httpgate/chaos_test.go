@@ -93,8 +93,8 @@ func TestGateChaosFlappingLimiterExactCounts(t *testing.T) {
 		if adm != phase || den != 0 {
 			t.Fatalf("%v healthy: admitted %d denied %d", tc.policy, adm, den)
 		}
-		if gate.Degraded() != 0 || br.State() != resilience.Closed {
-			t.Fatalf("%v healthy: degraded %d state %v", tc.policy, gate.Degraded(), br.State())
+		if got := gateStat(t, gate, MetricDegraded); got != 0 || br.State() != resilience.Closed {
+			t.Fatalf("%v healthy: degraded %d state %v", tc.policy, got, br.State())
 		}
 
 		// Phase 2: the limiter is down for every request; the policy decides
@@ -104,8 +104,8 @@ func TestGateChaosFlappingLimiterExactCounts(t *testing.T) {
 		if adm != tc.downAdmitted || den != phase-tc.downAdmitted {
 			t.Fatalf("%v outage: admitted %d denied %d", tc.policy, adm, den)
 		}
-		if gate.Degraded() != phase {
-			t.Fatalf("%v outage: degraded %d, want %d", tc.policy, gate.Degraded(), phase)
+		if got := gateStat(t, gate, MetricDegraded); got != phase {
+			t.Fatalf("%v outage: degraded %d, want %d", tc.policy, got, phase)
 		}
 		if br.State() != resilience.Open || br.Opens() != 1 {
 			t.Fatalf("%v outage: state %v opens %d", tc.policy, br.State(), br.Opens())
@@ -128,13 +128,13 @@ func TestGateChaosFlappingLimiterExactCounts(t *testing.T) {
 		}
 
 		// Phase 4: healthy concurrent traffic again, no new degradation.
-		degradedBefore := gate.Degraded()
+		degradedBefore := gateStat(t, gate, MetricDegraded)
 		adm, den = chaosFire(server, workers, per)
 		if adm != phase || den != 0 {
 			t.Fatalf("%v recovered: admitted %d denied %d", tc.policy, adm, den)
 		}
-		if gate.Degraded() != degradedBefore {
-			t.Fatalf("%v recovered: degraded %d -> %d", tc.policy, degradedBefore, gate.Degraded())
+		if got := gateStat(t, gate, MetricDegraded); got != degradedBefore {
+			t.Fatalf("%v recovered: degraded %d -> %d", tc.policy, degradedBefore, got)
 		}
 	}
 }
@@ -169,11 +169,11 @@ func TestGateChaosSeededErrorsExactMultiset(t *testing.T) {
 	if adm != workers*per || den != 0 {
 		t.Fatalf("admitted %d denied %d under fail-open faults", adm, den)
 	}
-	if got := gate.Degraded(); got != inj.Errors() {
+	if got := gateStat(t, gate, MetricDegraded); got != inj.Errors() {
 		t.Fatalf("gate degraded %d, injector errors %d", got, inj.Errors())
 	}
-	if st := gate.LayerStats(LayerChallenge); st.Errors != inj.Errors() {
-		t.Fatalf("layer errors %d, injector %d", st.Errors, inj.Errors())
+	if got := gateStat(t, gate, MetricLayerErrors, layerLabel(LayerChallenge)); got != inj.Errors() {
+		t.Fatalf("layer errors %d, injector %d", got, inj.Errors())
 	}
 
 	serialInj, _, serialServer := build()

@@ -66,11 +66,11 @@ func TestGateConcurrentDistinctClientsAllAdmitted(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if got := g.Admitted(); got != workers*perWorker {
+	if got := gateStat(t, g, MetricAdmitted); got != workers*perWorker {
 		t.Fatalf("admitted %d, want %d", got, workers*perWorker)
 	}
-	if g.Denied() != 0 {
-		t.Fatalf("denied %d, want 0", g.Denied())
+	if got := gateStat(t, g, MetricDenied); got != 0 {
+		t.Fatalf("denied %d, want 0", got)
 	}
 	if hits.Load() != workers*perWorker {
 		t.Fatalf("handler hits %d", hits.Load())
@@ -110,8 +110,10 @@ func TestGateConcurrentSharedLimitExactAllowance(t *testing.T) {
 	if throttled.Load() != workers*perWorker-limit {
 		t.Fatalf("throttled %d, want %d", throttled.Load(), workers*perWorker-limit)
 	}
-	if g.Admitted() != limit || g.Denied() != workers*perWorker-limit {
-		t.Fatalf("counters admitted=%d denied=%d", g.Admitted(), g.Denied())
+	admitted := gateStat(t, g, MetricAdmitted)
+	denied := gateStat(t, g, MetricDenied)
+	if admitted != limit || denied != workers*perWorker-limit {
+		t.Fatalf("counters admitted=%d denied=%d", admitted, denied)
 	}
 }
 
@@ -158,11 +160,13 @@ func TestGateConcurrentMixedLayers(t *testing.T) {
 	if blocked.Load() != wantBlocked {
 		t.Fatalf("blocked %d, want %d", blocked.Load(), wantBlocked)
 	}
-	if g.Admitted()+g.Denied() != workers*perWorker {
+	admitted := gateStat(t, g, MetricAdmitted)
+	denied := gateStat(t, g, MetricDenied)
+	if admitted+denied != workers*perWorker {
 		t.Fatalf("counters admitted=%d denied=%d do not sum to %d",
-			g.Admitted(), g.Denied(), workers*perWorker)
+			admitted, denied, workers*perWorker)
 	}
-	if g.Denied() != wantBlocked {
-		t.Fatalf("denied %d, want %d", g.Denied(), wantBlocked)
+	if denied != wantBlocked {
+		t.Fatalf("denied %d, want %d", denied, wantBlocked)
 	}
 }

@@ -243,23 +243,6 @@ type layerGuard struct {
 	degraded atomic.Uint64
 }
 
-// LayerStats is one layer's observability snapshot.
-type LayerStats struct {
-	Layer  Layer
-	Policy resilience.Policy
-	// State is the breaker position; Closed when no breaker is wired.
-	State resilience.State
-	// Errors counts layer calls that returned an error (panics included).
-	Errors uint64
-	// Panics counts recovered layer panics.
-	Panics uint64
-	// Degraded counts decisions where this layer was unavailable and its
-	// policy was applied instead.
-	Degraded uint64
-	// BreakerOpens counts the breaker's trips to open.
-	BreakerOpens uint64
-}
-
 // Gate is an http.Handler middleware enforcing the defence pipeline. It is
 // safe for concurrent use without a global lock: each rate-limiting layer
 // is a lock-striped signal.Limiter, the block list synchronises itself,
@@ -387,38 +370,6 @@ func limiterCheck(l *signal.Limiter) CheckFunc {
 	return func(key string, now time.Time) (bool, error) {
 		return l.Allow(key, now), nil
 	}
-}
-
-// Admitted returns how many requests passed every layer.
-//
-// Admitted, Denied, Degraded and LayerStats are retained as thin adapters
-// over the gate's atomics for one release; the same readings are exposed
-// through Collector on the obs.Registry contract, which is the supported
-// surface going forward.
-func (g *Gate) Admitted() uint64 { return g.admitted.Load() }
-
-// Denied returns how many requests any layer rejected.
-func (g *Gate) Denied() uint64 { return g.denied.Load() }
-
-// Degraded returns how many decisions were made with at least one layer
-// unavailable (always <= Admitted+Denied).
-func (g *Gate) Degraded() uint64 { return g.degraded.Load() }
-
-// LayerStats snapshots one layer's resilience counters.
-func (g *Gate) LayerStats(l Layer) LayerStats {
-	gd := &g.guards[l]
-	s := LayerStats{
-		Layer:    l,
-		Policy:   gd.policy,
-		Errors:   gd.errors.Load(),
-		Panics:   gd.panics.Load(),
-		Degraded: gd.degraded.Load(),
-	}
-	if gd.breaker != nil {
-		s.State = gd.breaker.State()
-		s.BreakerOpens = gd.breaker.Opens()
-	}
-	return s
 }
 
 // Breaker exposes a layer's breaker for tests and dashboards; nil without

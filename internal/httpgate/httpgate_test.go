@@ -77,8 +77,10 @@ func TestGateAdmitsCleanTraffic(t *testing.T) {
 	if w.Code != http.StatusOK || w.Body.String() != "ok" {
 		t.Fatalf("status %d body %q", w.Code, w.Body.String())
 	}
-	if e.gate.Admitted() != 1 || e.gate.Denied() != 0 {
-		t.Fatalf("admitted %d denied %d", e.gate.Admitted(), e.gate.Denied())
+	admitted := gateStat(t, e.gate, MetricAdmitted)
+	denied := gateStat(t, e.gate, MetricDenied)
+	if admitted != 1 || denied != 0 {
+		t.Fatalf("admitted %d denied %d", admitted, denied)
 	}
 }
 
@@ -331,8 +333,10 @@ func TestGateRealServerIntegration(t *testing.T) {
 	if last.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("final status %d, want 429", last.StatusCode)
 	}
-	if e.gate.Admitted() != 3 || e.gate.Denied() != 2 {
-		t.Fatalf("admitted %d denied %d", e.gate.Admitted(), e.gate.Denied())
+	admitted := gateStat(t, e.gate, MetricAdmitted)
+	denied := gateStat(t, e.gate, MetricDenied)
+	if admitted != 3 || denied != 2 {
+		t.Fatalf("admitted %d denied %d", admitted, denied)
 	}
 }
 
@@ -371,7 +375,7 @@ func TestGateConcurrentRequests(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if total := gate.Admitted() + gate.Denied(); total != workers*perWorker {
+	if total := gateStat(t, gate, MetricAdmitted) + gateStat(t, gate, MetricDenied); total != workers*perWorker {
 		t.Fatalf("decisions %d, want %d", total, workers*perWorker)
 	}
 }

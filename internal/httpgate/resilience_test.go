@@ -45,9 +45,12 @@ func TestGatePanicInChallengeRecovered(t *testing.T) {
 		if got := w.Header().Get(DegradedHeader); got != "challenge" {
 			t.Fatalf("wired=%v: degraded header %q", wired, got)
 		}
-		st := e.gate.LayerStats(LayerChallenge)
-		if st.Panics != 1 || st.Errors != 1 || st.Degraded != 1 {
-			t.Fatalf("wired=%v: stats %+v", wired, st)
+		lbl := layerLabel(LayerChallenge)
+		panics := gateStat(t, e.gate, MetricLayerPanics, lbl)
+		errs := gateStat(t, e.gate, MetricLayerErrors, lbl)
+		deg := gateStat(t, e.gate, MetricLayerDegraded, lbl)
+		if panics != 1 || errs != 1 || deg != 1 {
+			t.Fatalf("wired=%v: panics=%d errors=%d degraded=%d", wired, panics, errs, deg)
 		}
 	}
 }
@@ -91,12 +94,14 @@ func TestGatePanicInOnDecisionRecovered(t *testing.T) {
 		if got := w.Header().Get(DegradedHeader); got != "decision" {
 			t.Fatalf("wired=%v: degraded header %q", wired, got)
 		}
-		st := e.gate.LayerStats(LayerDecision)
-		if st.Panics != 1 || st.Degraded != 1 {
-			t.Fatalf("wired=%v: stats %+v", wired, st)
+		lbl := layerLabel(LayerDecision)
+		panics := gateStat(t, e.gate, MetricLayerPanics, lbl)
+		deg := gateStat(t, e.gate, MetricLayerDegraded, lbl)
+		if panics != 1 || deg != 1 {
+			t.Fatalf("wired=%v: panics=%d degraded=%d", wired, panics, deg)
 		}
-		if e.gate.Degraded() != 1 {
-			t.Fatalf("wired=%v: gate degraded %d", wired, e.gate.Degraded())
+		if got := gateStat(t, e.gate, MetricDegraded); got != 1 {
+			t.Fatalf("wired=%v: gate degraded %d", wired, got)
 		}
 	}
 }
@@ -115,8 +120,10 @@ func TestGateDecisionFailClosedDenies(t *testing.T) {
 	if got := w.Header().Get(ReasonHeader); got != ReasonDecision {
 		t.Fatalf("reason %q", got)
 	}
-	if e.gate.Denied() != 1 || e.gate.Admitted() != 0 {
-		t.Fatalf("denied %d admitted %d", e.gate.Denied(), e.gate.Admitted())
+	denied := gateStat(t, e.gate, MetricDenied)
+	admitted := gateStat(t, e.gate, MetricAdmitted)
+	if denied != 1 || admitted != 0 {
+		t.Fatalf("denied %d admitted %d", denied, admitted)
 	}
 }
 
@@ -188,8 +195,8 @@ func TestGateDegradedHeaderListsAllLayers(t *testing.T) {
 	if got := w.Header().Get(DegradedHeader); got != "blocklist,profile" {
 		t.Fatalf("degraded header %q", got)
 	}
-	if e.gate.Degraded() != 1 {
-		t.Fatalf("gate degraded %d, want 1 (one decision, two layers)", e.gate.Degraded())
+	if got := gateStat(t, e.gate, MetricDegraded); got != 1 {
+		t.Fatalf("gate degraded %d, want 1 (one decision, two layers)", got)
 	}
 }
 
@@ -205,8 +212,8 @@ func TestGateHealthyDecisionHasNoDegradedHeader(t *testing.T) {
 	if got := w.Header().Get(DegradedHeader); got != "" {
 		t.Fatalf("degraded header %q on healthy decision", got)
 	}
-	if e.gate.Degraded() != 0 {
-		t.Fatalf("gate degraded %d", e.gate.Degraded())
+	if got := gateStat(t, e.gate, MetricDegraded); got != 0 {
+		t.Fatalf("gate degraded %d", got)
 	}
 }
 
@@ -240,9 +247,9 @@ func TestGateBreakerTripsAndRecovers(t *testing.T) {
 
 	// Open: calls short-circuit without touching the (still broken) layer.
 	fc.broken = false
-	before := e.gate.LayerStats(LayerProfile).Errors
+	before := gateStat(t, e.gate, MetricLayerErrors, layerLabel(LayerProfile))
 	e.do(t, "/booking/1", withCookie("alice"))
-	if got := e.gate.LayerStats(LayerProfile).Errors; got != before {
+	if got := gateStat(t, e.gate, MetricLayerErrors, layerLabel(LayerProfile)); got != before {
 		t.Fatalf("layer called while breaker open: errors %d -> %d", before, got)
 	}
 
@@ -277,8 +284,8 @@ func TestGateResourceKeyPanicDegradesLayer(t *testing.T) {
 	if got := w.Header().Get(DegradedHeader); got != "resource" {
 		t.Fatalf("degraded header %q", got)
 	}
-	if st := e.gate.LayerStats(LayerResource); st.Panics != 1 {
-		t.Fatalf("stats %+v", st)
+	if got := gateStat(t, e.gate, MetricLayerPanics, layerLabel(LayerResource)); got != 1 {
+		t.Fatalf("resource layer panics %d, want 1", got)
 	}
 }
 
@@ -290,8 +297,8 @@ func TestRemoteIPMalformedForwardedFor(t *testing.T) {
 		want string
 	}{
 		{"", "203.0.113.7"},
-		{",198.51.100.9", "203.0.113.7"},         // empty first hop
-		{"   ,198.51.100.9", "203.0.113.7"},      // whitespace first hop
+		{",198.51.100.9", "203.0.113.7"},    // empty first hop
+		{"   ,198.51.100.9", "203.0.113.7"}, // whitespace first hop
 		{"not-an-ip, 198.51.100.9", "203.0.113.7"},
 		{"<script>", "203.0.113.7"},
 		{"198.51.100.9", "198.51.100.9"},

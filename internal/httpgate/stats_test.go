@@ -1,0 +1,24 @@
+package httpgate
+
+import (
+	"testing"
+
+	"funabuse/internal/obs"
+)
+
+// gateStat point-reads one sample from the gate's collector — the stats
+// surface the tests assert against since the legacy accessor adapters
+// were removed.
+func gateStat(t *testing.T, g *Gate, name string, labels ...obs.Label) uint64 {
+	t.Helper()
+	v, ok := obs.Value(g.Collector(), name, labels...)
+	if !ok {
+		t.Fatalf("collector has no sample %s %v", name, labels)
+	}
+	return uint64(v)
+}
+
+// layerLabel is the label a layer's per-layer families carry.
+func layerLabel(l Layer) obs.Label {
+	return obs.Label{Name: "layer", Value: l.String()}
+}

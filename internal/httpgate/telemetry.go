@@ -6,20 +6,21 @@ import (
 	"funabuse/internal/obs"
 )
 
-// Gate metric names. The per-layer families carry a layer label; the
-// denial family carries the ReasonHeader value as its reason label.
+// Gate metric names, exported so collector consumers can point-read them
+// with obs.Value. The per-layer families carry a layer label; the denial
+// family carries the ReasonHeader value as its reason label.
 const (
-	metricAdmitted       = "gate_admitted_total"
-	metricDenied         = "gate_denied_total"
-	metricDegradedTotal  = "gate_degraded_decisions_total"
-	metricDenials        = "gate_denials_total"
-	metricLatency        = "gate_decision_seconds"
-	metricLayerErrors    = "gate_layer_errors_total"
-	metricLayerPanics    = "gate_layer_panics_total"
-	metricLayerDegraded  = "gate_layer_degraded_total"
-	metricBreakerState   = "gate_layer_breaker_state"
-	metricBreakerOpens   = "gate_layer_breaker_opens_total"
-	metricBreakerShorted = "gate_layer_breaker_short_circuits_total"
+	MetricAdmitted       = "gate_admitted_total"
+	MetricDenied         = "gate_denied_total"
+	MetricDegraded       = "gate_degraded_decisions_total"
+	MetricDenials        = "gate_denials_total"
+	MetricLatency        = "gate_decision_seconds"
+	MetricLayerErrors    = "gate_layer_errors_total"
+	MetricLayerPanics    = "gate_layer_panics_total"
+	MetricLayerDegraded  = "gate_layer_degraded_total"
+	MetricBreakerState   = "gate_layer_breaker_state"
+	MetricBreakerOpens   = "gate_layer_breaker_opens_total"
+	MetricBreakerShorted = "gate_layer_breaker_short_circuits_total"
 )
 
 // gateTelemetry holds the gate's live metric handles, pre-resolved at
@@ -46,12 +47,12 @@ func (g *Gate) initTelemetry(reg *obs.Registry, traces *obs.TraceRing) {
 	}
 	tel := &gateTelemetry{traces: traces}
 	if reg != nil {
-		reg.Help(metricLatency, "Gate decision latency in seconds.")
-		reg.Help(metricDenials, "Denied requests by denial reason.")
-		tel.latency = reg.Histogram(metricLatency, nil)
+		reg.Help(MetricLatency, "Gate decision latency in seconds.")
+		reg.Help(MetricDenials, "Denied requests by denial reason.")
+		tel.latency = reg.Histogram(MetricLatency, nil)
 		tel.denials = make(map[string]*obs.Counter, len(allReasons))
 		for _, reason := range allReasons {
-			tel.denials[reason] = reg.Counter(metricDenials, obs.Label{Name: "reason", Value: reason})
+			tel.denials[reason] = reg.Counter(MetricDenials, obs.Label{Name: "reason", Value: reason})
 		}
 		reg.Register(g.Collector())
 	}
@@ -90,30 +91,28 @@ func (g *Gate) observeDecision(start time.Time, path, reason string, mask uint8)
 }
 
 // Collector exposes the gate's decision and per-layer resilience counters
-// as the obs snapshot contract. It reads the same atomics the legacy
-// accessors (Admitted, Denied, Degraded, LayerStats) read; those methods
-// remain as thin adapters for one release and new consumers should scrape
-// the collector instead.
+// as the obs snapshot contract — the gate's only stats surface. Point
+// reads go through obs.Value; full scrapes through an obs.Registry.
 func (g *Gate) Collector() obs.Collector {
 	return obs.CollectorFunc(func(dst []obs.Sample) []obs.Sample {
 		dst = append(dst,
-			obs.Sample{Name: metricAdmitted, Value: float64(g.Admitted())},
-			obs.Sample{Name: metricDenied, Value: float64(g.Denied())},
-			obs.Sample{Name: metricDegradedTotal, Value: float64(g.Degraded())},
+			obs.Sample{Name: MetricAdmitted, Value: float64(g.admitted.Load())},
+			obs.Sample{Name: MetricDenied, Value: float64(g.denied.Load())},
+			obs.Sample{Name: MetricDegraded, Value: float64(g.degraded.Load())},
 		)
 		for l := LayerBlocklist; l < numLayers; l++ {
-			st := g.LayerStats(l)
+			gd := &g.guards[l]
 			lbl := []obs.Label{{Name: "layer", Value: l.String()}}
 			dst = append(dst,
-				obs.Sample{Name: metricLayerErrors, Labels: lbl, Value: float64(st.Errors)},
-				obs.Sample{Name: metricLayerPanics, Labels: lbl, Value: float64(st.Panics)},
-				obs.Sample{Name: metricLayerDegraded, Labels: lbl, Value: float64(st.Degraded)},
+				obs.Sample{Name: MetricLayerErrors, Labels: lbl, Value: float64(gd.errors.Load())},
+				obs.Sample{Name: MetricLayerPanics, Labels: lbl, Value: float64(gd.panics.Load())},
+				obs.Sample{Name: MetricLayerDegraded, Labels: lbl, Value: float64(gd.degraded.Load())},
 			)
-			if b := g.guards[l].breaker; b != nil {
+			if b := gd.breaker; b != nil {
 				dst = append(dst,
-					obs.Sample{Name: metricBreakerState, Labels: lbl, Value: float64(st.State)},
-					obs.Sample{Name: metricBreakerOpens, Labels: lbl, Value: float64(st.BreakerOpens)},
-					obs.Sample{Name: metricBreakerShorted, Labels: lbl, Value: float64(b.ShortCircuits())},
+					obs.Sample{Name: MetricBreakerState, Labels: lbl, Value: float64(b.State())},
+					obs.Sample{Name: MetricBreakerOpens, Labels: lbl, Value: float64(b.Opens())},
+					obs.Sample{Name: MetricBreakerShorted, Labels: lbl, Value: float64(b.ShortCircuits())},
 				)
 			}
 		}

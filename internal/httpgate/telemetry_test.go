@@ -73,21 +73,21 @@ func TestGateTelemetryCountsDecisions(t *testing.T) {
 	}
 
 	samples := reg.Gather()
-	if got := findSample(t, samples, metricAdmitted); got != 2 {
+	if got := findSample(t, samples, MetricAdmitted); got != 2 {
 		t.Fatalf("admitted = %v, want 2", got)
 	}
-	if got := findSample(t, samples, metricDenied); got != 1 {
+	if got := findSample(t, samples, MetricDenied); got != 1 {
 		t.Fatalf("denied = %v, want 1", got)
 	}
-	if got := findSample(t, samples, metricDenials, obs.Label{Name: "reason", Value: ReasonProfile}); got != 1 {
+	if got := findSample(t, samples, MetricDenials, obs.Label{Name: "reason", Value: ReasonProfile}); got != 1 {
 		t.Fatalf("profile denials = %v, want 1", got)
 	}
-	if got := findSample(t, samples, metricLatency+"_count"); got != 3 {
+	if got := findSample(t, samples, MetricLatency+"_count"); got != 3 {
 		t.Fatalf("latency count = %v, want 3", got)
 	}
-	// Legacy accessors and the collector read the same atomics.
-	if g.Admitted() != 2 || g.Denied() != 1 {
-		t.Fatalf("legacy accessors disagree: admitted %d denied %d", g.Admitted(), g.Denied())
+	// The obs.Value point-read and a full registry gather agree.
+	if got := gateStat(t, g, MetricAdmitted); got != 2 {
+		t.Fatalf("obs.Value admitted = %d, want 2", got)
 	}
 
 	spans := ring.Snapshot()
@@ -118,7 +118,7 @@ func TestGateTelemetryExposition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gate exposition unparseable: %v\n%s", err, b.String())
 	}
-	if got := findSample(t, samples, metricBreakerState, obs.Label{Name: "layer", Value: "profile"}); got != 0 {
+	if got := findSample(t, samples, MetricBreakerState, obs.Label{Name: "layer", Value: "profile"}); got != 0 {
 		t.Fatalf("profile breaker state = %v, want 0 (closed)", got)
 	}
 }

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"funabuse/internal/httpgate"
+	"funabuse/internal/mitigate"
+	"funabuse/internal/simclock"
+)
+
+// Rule is one fingerprint block rule the defender deployed mid-run.
+type Rule struct {
+	FP uint64
+	At time.Time
+}
+
+// RuleDeployerConfig assembles a RuleDeployer.
+type RuleDeployerConfig struct {
+	// Blocks is the gate's deny list the deployer pushes rules into.
+	Blocks *mitigate.BlockList
+	// Clock timestamps deployments; defaults to the real clock.
+	Clock simclock.Clock
+	// Threshold is the per-fingerprint request count within one window
+	// that triggers a block rule. Tune it above an honest client's
+	// per-window volume and below a bot burst.
+	Threshold int
+	// Window is the tumbling count window.
+	Window time.Duration
+	// Paths restricts counting to these request paths; empty watches all.
+	Paths []string
+}
+
+// RuleDeployer is the server-side half of the arms race: a defender that
+// watches per-fingerprint volume on sensitive paths through the gate's
+// OnDecision hook and pushes a fingerprint block rule when a print runs
+// hot — the knowledge-based blocking the paper's Airline A operators
+// practised, and the stimulus the adaptive attacker clients react to.
+// It is driven from the gate's serving goroutines and synchronises itself.
+type RuleDeployer struct {
+	blocks    *mitigate.BlockList
+	clock     simclock.Clock
+	threshold int
+	window    time.Duration
+	watch     map[string]bool
+
+	mu       sync.Mutex
+	winStart time.Time
+	counts   map[uint64]int
+	rules    []Rule
+	ruleAt   map[uint64]time.Time
+}
+
+// NewRuleDeployer returns a deployer pushing rules into cfg.Blocks.
+func NewRuleDeployer(cfg RuleDeployerConfig) *RuleDeployer {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	watch := make(map[string]bool, len(cfg.Paths))
+	for _, p := range cfg.Paths {
+		watch[p] = true
+	}
+	return &RuleDeployer{
+		blocks:    cfg.Blocks,
+		clock:     clock,
+		threshold: cfg.Threshold,
+		window:    cfg.Window,
+		watch:     watch,
+		counts:    make(map[uint64]int),
+		ruleAt:    make(map[uint64]time.Time),
+	}
+}
+
+// OnDecision is wired as the gate's decision hook. Blocklist denials are
+// not counted: a fingerprint already caught by a rule must not re-trigger
+// deployment, and everything else — including rate-limited requests — is
+// evidence of volume.
+func (d *RuleDeployer) OnDecision(r *http.Request, info httpgate.ClientInfo, deniedBy string) {
+	if !info.HasFingerprint || deniedBy == httpgate.ReasonBlocklist {
+		return
+	}
+	if len(d.watch) > 0 && !d.watch[r.URL.Path] {
+		return
+	}
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.winStart.IsZero() {
+		d.winStart = now
+	}
+	if d.window > 0 && now.Sub(d.winStart) >= d.window {
+		d.winStart = now
+		clear(d.counts)
+	}
+	d.counts[info.Fingerprint]++
+	if d.counts[info.Fingerprint] != d.threshold {
+		return
+	}
+	if _, dup := d.ruleAt[info.Fingerprint]; dup {
+		return
+	}
+	d.blocks.Block("fp:"+strconv.FormatUint(info.Fingerprint, 16), now)
+	d.ruleAt[info.Fingerprint] = now
+	d.rules = append(d.rules, Rule{FP: info.Fingerprint, At: now})
+}
+
+// Rules snapshots the deployed rules in deployment order.
+func (d *RuleDeployer) Rules() []Rule {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Rule, len(d.rules))
+	copy(out, d.rules)
+	return out
+}
+
+// TimeToRotation joins one client rotation against the rules: the
+// measured interval is rule deployment → rotated identity first
+// presented, the paper's 5.3-hour Case A statistic. When the rotated-from
+// fingerprint was never named by a rule (the bot reacted to a degraded
+// denial or a stale observation), the notice time stands in.
+func TimeToRotation(rot Rotation, rules []Rule) time.Duration {
+	for _, r := range rules {
+		if r.FP == rot.FromFP {
+			return rot.At.Sub(r.At)
+		}
+	}
+	return rot.At.Sub(rot.NoticedAt)
+}
+
+// MeanTimeToRotation averages TimeToRotation over all rotations; ok is
+// false when there were none.
+func MeanTimeToRotation(rotations []Rotation, rules []Rule) (mean time.Duration, ok bool) {
+	if len(rotations) == 0 {
+		return 0, false
+	}
+	var total time.Duration
+	for _, rot := range rotations {
+		total += TimeToRotation(rot, rules)
+	}
+	return total / time.Duration(len(rotations)), true
+}

@@ -1,0 +1,12 @@
+package loadgen
+
+// Seed-1 golden schedule values for testScenario, pinned by
+// TestPlanGoldenCounts: 942 scheduled requests over ~60 s of virtual
+// time. If a deliberate schedule-generation change moves them, re-derive
+// with: go test ./internal/loadgen -run PlanGolden -v
+const (
+	goldenHonest   = 188
+	goldenSeatspin = 355
+	goldenSMSPump  = 399
+	goldenPlanHash = uint64(0xdcf47509ba440551)
+)

@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"funabuse/internal/httpgate"
+	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
+	"funabuse/internal/simclock"
+)
+
+// TargetConfig describes the defended server a load run drives: an
+// httpgate-wrapped backend on a real 127.0.0.1 listener, with the
+// defence layers under test and, optionally, the rule-deploying defender
+// that closes the arms-race loop.
+type TargetConfig struct {
+	// Clock is shared by the gate, limiters and deployer; defaults to
+	// the real clock. Virtual runs pass the Runner's manual clock.
+	Clock simclock.Clock
+
+	// RuleThreshold, when positive, wires a RuleDeployer as the gate's
+	// decision hook: RuleThreshold requests from one fingerprint within
+	// RuleWindow on RulePaths (empty: all paths) deploys a block rule.
+	RuleThreshold int
+	RuleWindow    time.Duration
+	RulePaths     []string
+
+	// Per-layer rate limits; zero disables a layer. ResourceLimit keys
+	// on the pnr query parameter — the paper's per-booking-reference
+	// limit for the SMS path.
+	PathLimit      int
+	PathWindow     time.Duration
+	ProfileLimit   int
+	ProfileWindow  time.Duration
+	ResourceLimit  int
+	ResourceWindow time.Duration
+
+	// Telemetry and Traces instrument the gate (see httpgate options).
+	Telemetry *obs.Registry
+	Traces    *obs.TraceRing
+}
+
+// Target is a running defended server.
+type Target struct {
+	// Gate is the serving middleware; Blocks its live deny list.
+	Gate   *httpgate.Gate
+	Blocks *mitigate.BlockList
+	// Deployer is the arms-race defender, nil when RuleThreshold is 0.
+	Deployer *RuleDeployer
+	// URL is the server root, ready for RunnerConfig.BaseURL.
+	URL string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartTarget boots the defended server on an ephemeral 127.0.0.1 port.
+// The gate trusts X-Forwarded-For (the load generator is its own trusted
+// proxy, presenting each simulated client's address) and requires the
+// fingerprint header, as a collector-backed deployment would.
+func StartTarget(cfg TargetConfig) (*Target, error) {
+	blocks := mitigate.NewBlockList(0)
+	gcfg := httpgate.Config{
+		Clock:              cfg.Clock,
+		Blocks:             blocks,
+		TrustForwardedFor:  true,
+		RequireFingerprint: true,
+		PathLimit:          cfg.PathLimit,
+		PathWindow:         cfg.PathWindow,
+		ProfileLimit:       cfg.ProfileLimit,
+		ProfileWindow:      cfg.ProfileWindow,
+		ResourceLimit:      cfg.ResourceLimit,
+		ResourceWindow:     cfg.ResourceWindow,
+	}
+	if cfg.ResourceLimit > 0 {
+		gcfg.ResourceKey = func(r *http.Request) string {
+			return r.URL.Query().Get("pnr")
+		}
+	}
+	var deployer *RuleDeployer
+	if cfg.RuleThreshold > 0 {
+		deployer = NewRuleDeployer(RuleDeployerConfig{
+			Blocks:    blocks,
+			Clock:     cfg.Clock,
+			Threshold: cfg.RuleThreshold,
+			Window:    cfg.RuleWindow,
+			Paths:     cfg.RulePaths,
+		})
+		gcfg.OnDecision = deployer.OnDecision
+	}
+	var opts []httpgate.Option
+	if cfg.Telemetry != nil {
+		opts = append(opts, httpgate.WithTelemetry(cfg.Telemetry))
+	}
+	if cfg.Traces != nil {
+		opts = append(opts, httpgate.WithTraces(cfg.Traces))
+	}
+	gate := httpgate.New(gcfg, opts...)
+
+	backend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: target listen: %w", err)
+	}
+	srv := &http.Server{Handler: gate.Wrap(backend)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Target{
+		Gate:     gate,
+		Blocks:   blocks,
+		Deployer: deployer,
+		URL:      "http://" + ln.Addr().String(),
+		srv:      srv,
+		ln:       ln,
+	}, nil
+}
+
+// Close shuts the server down.
+func (t *Target) Close() error { return t.srv.Close() }

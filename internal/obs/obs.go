@@ -88,6 +88,38 @@ type CollectorFunc func(dst []Sample) []Sample
 // Collect implements Collector.
 func (f CollectorFunc) Collect(dst []Sample) []Sample { return f(dst) }
 
+// Value takes one snapshot of c and returns the value of the first sample
+// matching name whose labels include every given label. ok is false when
+// no sample matches. It is the point-read convenience over the Collector
+// contract for tests and control loops that need a single reading rather
+// than a full scrape.
+func Value(c Collector, name string, labels ...Label) (value float64, ok bool) {
+	for _, s := range c.Collect(nil) {
+		if s.Name != name || !labelsInclude(s.Labels, labels) {
+			continue
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// labelsInclude reports whether have contains every label in want.
+func labelsInclude(have, want []Label) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
 // Counter is a monotonically increasing metric. The zero value is ready
 // to use; handles obtained from a Registry are shared by identity, so two
 // Counter calls with the same name and labels return the same counter.
