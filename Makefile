@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke chaos obs-smoke
+.PHONY: check build test race vet bench bench-smoke chaos obs-smoke cluster
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
-# monitors are concurrent), the chaos suite, a one-iteration benchmark
-# compile+run, and the telemetry smoke test.
-check: vet build race chaos bench-smoke obs-smoke
+# monitors are concurrent), the chaos suite, the cluster suite, a
+# one-iteration benchmark compile+run, and the telemetry smoke test.
+check: vet build race chaos cluster bench-smoke obs-smoke
+
+# cluster runs the multi-node gate-fleet suite — routing, anti-entropy
+# replication and the worker/node golden determinism tests — under the
+# race detector (gossip interleaves with request handling).
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster
 
 # obs-smoke boots the telemetry mux, scrapes /metrics and /healthz, and
 # fails if the exposition contains a single unparseable line.
@@ -33,7 +39,7 @@ race:
 # bench writes the full benchmark sweep (3 samples per benchmark, with
 # allocation stats) as machine-readable go-test JSON for regression
 # tracking across PRs. Override BENCH_OUT to keep older snapshots.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > $(BENCH_OUT)
 

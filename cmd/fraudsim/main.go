@@ -8,12 +8,19 @@
 //	fraudsim -scenario mixed    -days 3 -defend -honeypot
 //	fraudsim -scenario mixed    -days 3 -defend -serve :9090
 //	fraudsim -scenario loadsim  -loadworkers 8
+//	fraudsim -scenario clustersim
 //
 // The loadsim scenario is different in kind: instead of the in-process
 // simulation it boots a real httpgate-backed HTTP server and replays a
 // seeded mixed-traffic plan against it over sockets, with adaptive
 // attacker clients that rotate fingerprints when blocking rules land.
 // It compares defence arms side by side; see internal/loadgen.
+//
+// The clustersim scenario scales that to a fleet: a distributed
+// low-and-slow attack replayed against gate clusters of varying node
+// count and gossip interval, measuring the attacker leak rate a per-node
+// defence concedes versus one that replicates rules and merged sketch
+// state; see internal/cluster.
 //
 // All scenarios are deterministic per -seed (loadsim under its default
 // virtual pacing; -loadreal switches to wall-clock pacing). With -serve
@@ -73,7 +80,7 @@ type options struct {
 }
 
 func main() {
-	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim")
+	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim, clustersim")
 	days := flag.Int("days", 7, "attack duration in simulated days")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	defend := flag.Bool("defend", false, "run the adaptive defender")
@@ -150,6 +157,8 @@ func run(opts options, stdout, stderr io.Writer) error {
 	switch opts.scenario {
 	case "loadsim":
 		return runLoadsim(opts, stdout, stderr)
+	case "clustersim":
+		return runClustersim(opts, stdout, stderr)
 	case "seatspin", "smspump", "manual", "mixed":
 	default:
 		return fmt.Errorf("unknown scenario %q", opts.scenario)

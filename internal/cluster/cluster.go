@@ -1,0 +1,537 @@
+// Package cluster runs a fleet of httpgate nodes behind one routing
+// front, with anti-entropy replication between nodes: blocklist rule
+// deltas carrying per-rule origin and sequence metadata, and merged
+// signal-engine sketch state in the compact signal.State wire form.
+//
+// The package exists to model the paper's core warning at system scale:
+// functional abuse is distributed by design, so an attacker who spreads
+// volume across enough sessions stays under every per-node threshold.
+// Each node here runs the usual per-node defence (gate, blocklist,
+// signal engine); what replication adds is the fleet view — a node
+// thresholds on its local sliding-window rate plus the last merged peer
+// snapshots, so volume invisible to every single vantage point still
+// crosses the line once sketches merge.
+//
+// Replication is anti-entropy on a configurable gossip interval,
+// piggybacked on request handling: the front checks the interval before
+// routing each request, so under loadgen's virtual pacing (one request
+// in flight, clock set per arrival) full cluster runs are
+// seed-deterministic. Peer state views are rebuilt from the latest
+// snapshots each round — sketch merges are additive, so re-merging the
+// same snapshot would double-count. The in-process Transport is the
+// first implementation; the interface is the seam for real sockets.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"funabuse/internal/httpgate"
+	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
+	"funabuse/internal/signal"
+	"funabuse/internal/simclock"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	// Nodes is the fleet size; non-positive selects 1.
+	Nodes int
+	// Clock is shared by every node's gate and engine and by the gossip
+	// loop; defaults to the real clock. Deterministic runs pass a
+	// simclock.Manual driven by the load generator's virtual pacing.
+	Clock simclock.Clock
+	// Router picks the serving node per request; nil selects HashRouter.
+	Router Router
+	// Transport carries replication snapshots; nil selects NewInProc.
+	Transport Transport
+
+	// Gossip is the anti-entropy interval: at most one exchange round
+	// runs per elapsed interval, triggered from the front before a
+	// request is routed (or forced with Cluster.Gossip). Zero disables
+	// replication entirely.
+	Gossip time.Duration
+	// ReplicateRules ships each node's originated-rule log; peers apply
+	// the per-origin delta into their own blocklists.
+	ReplicateRules bool
+	// ReplicateState ships each node's encoded signal.State; peers merge
+	// the received snapshots into the fleet view their detectors add to
+	// local rates.
+	ReplicateState bool
+
+	// RuleThreshold arms per-node detection: when one fingerprint's
+	// fleet-view volume — its local sliding-window rate plus the merged
+	// peer view — reaches the threshold on a watched path, the node
+	// originates a fingerprint block rule. Zero disables detection.
+	RuleThreshold int
+	// RuleWindow is the detection sliding window (and the node engines'
+	// window); defaults to one minute.
+	RuleWindow time.Duration
+	// RulePaths restricts detection counting; empty watches every path.
+	RulePaths []string
+
+	// Per-node gate rate limits; zero disables a layer.
+	PathLimit      int
+	PathWindow     time.Duration
+	ProfileLimit   int
+	ProfileWindow  time.Duration
+	ResourceLimit  int
+	ResourceWindow time.Duration
+
+	// Telemetry, when non-nil, registers every node's gate collector
+	// (labelled node=<i>), the cluster collector, and the
+	// rule-propagation histogram on the registry.
+	Telemetry *obs.Registry
+}
+
+// Cluster is a running in-process gate fleet.
+type Cluster struct {
+	cfg       Config
+	clock     simclock.Clock
+	router    Router
+	transport Transport
+	nodes     []*node
+
+	gossipMu   sync.Mutex
+	lastGossip atomic.Int64
+	rounds     atomic.Uint64
+
+	propHist  *obs.Histogram
+	propSum   atomic.Int64 // nanoseconds, for MeanPropagation
+	propCount atomic.Uint64
+}
+
+// node is one fleet member: a gate over its own blocklist, a local
+// signal engine keyed by fingerprint, and the replication state — the
+// originated-rule log it publishes, per-origin high-water marks for the
+// deltas it has applied, and the last merged peer view.
+type node struct {
+	id      int
+	cluster *Cluster
+	clock   simclock.Clock
+	gate    *httpgate.Gate
+	blocks  *mitigate.BlockList
+	engine  *signal.Engine
+	handler http.Handler
+	watch   map[string]bool
+
+	mu         sync.Mutex
+	seq        uint64
+	originated []Rule
+	seen       map[string]bool
+	applied    map[int]uint64
+	replicated uint64
+	peerView   *signal.State
+}
+
+// New assembles the fleet. Node engines share the construction-time clock
+// reading as their surge anchor, so their states merge.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Router == nil {
+		cfg.Router = HashRouter{}
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewInProc()
+	}
+	if cfg.RuleWindow <= 0 {
+		cfg.RuleWindow = time.Minute
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		router:    cfg.Router,
+		transport: cfg.Transport,
+	}
+	c.lastGossip.Store(c.clock.Now().UnixNano())
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Help(MetricRulePropagation,
+			"Delay between a rule's origination and its application on a peer.")
+		c.propHist = cfg.Telemetry.Histogram(MetricRulePropagation, nil)
+	}
+	start := c.clock.Now()
+	watch := make(map[string]bool, len(cfg.RulePaths))
+	for _, p := range cfg.RulePaths {
+		watch[p] = true
+	}
+	for i := range cfg.Nodes {
+		n := &node{
+			id:      i,
+			cluster: c,
+			clock:   cfg.Clock,
+			blocks:  mitigate.NewBlockList(0),
+			watch:   watch,
+			seen:    make(map[string]bool),
+			applied: make(map[int]uint64),
+		}
+		// A compact engine profile: snapshots stay small on the wire and
+		// the fingerprint key space of one dimension fits comfortably.
+		n.engine = signal.NewEngine(signal.EngineConfig{
+			Shards:            4,
+			Window:            cfg.RuleWindow,
+			TopK:              32,
+			SketchWidth:       512,
+			SketchDepth:       4,
+			DistinctPrecision: 8,
+			SurgeStart:        start,
+			SurgePeriod:       cfg.RuleWindow,
+		})
+		gcfg := httpgate.Config{
+			Clock:              cfg.Clock,
+			Blocks:             n.blocks,
+			TrustForwardedFor:  true,
+			RequireFingerprint: true,
+			PathLimit:          cfg.PathLimit,
+			PathWindow:         cfg.PathWindow,
+			ProfileLimit:       cfg.ProfileLimit,
+			ProfileWindow:      cfg.ProfileWindow,
+			ResourceLimit:      cfg.ResourceLimit,
+			ResourceWindow:     cfg.ResourceWindow,
+			OnDecision:         n.onDecision,
+		}
+		if cfg.ResourceLimit > 0 {
+			gcfg.ResourceKey = func(r *http.Request) string {
+				return r.URL.Query().Get("pnr")
+			}
+		}
+		var opts []httpgate.Option
+		if cfg.Telemetry != nil {
+			opts = append(opts,
+				httpgate.WithTelemetry(cfg.Telemetry),
+				httpgate.WithTelemetryLabels(obs.Label{Name: "node", Value: strconv.Itoa(i)}))
+		}
+		n.gate = httpgate.New(gcfg, opts...)
+		n.handler = n.gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ok\n"))
+		}))
+		c.nodes = append(c.nodes, n)
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Register(c.Collector())
+	}
+	return c
+}
+
+// Handler returns the routing front: it runs any due gossip round, picks
+// a node for the request's identity, and serves from that node's gate.
+func (c *Cluster) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.maybeGossip(c.clock.Now())
+		idx := c.router.Route(frontRouteInfo(r), len(c.nodes))
+		if idx < 0 || idx >= len(c.nodes) {
+			idx = 0
+		}
+		c.nodes[idx].handler.ServeHTTP(w, r)
+	})
+}
+
+// frontRouteInfo extracts routing identity the same way the gates do:
+// the collector fingerprint header, and the first X-Forwarded-For hop
+// (the front sits behind the same trusted proxy as its gates) falling
+// back to the socket address.
+func frontRouteInfo(r *http.Request) RouteInfo {
+	var info RouteInfo
+	if raw := r.Header.Get(httpgate.FingerprintHeader); raw != "" {
+		if v, err := strconv.ParseUint(raw, 16, 64); err == nil {
+			info.Fingerprint = v
+			info.HasFingerprint = true
+		}
+	}
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		info.IP = strings.TrimSpace(xff)
+	} else if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		info.IP = host
+	}
+	return info
+}
+
+// onDecision is each node's gate hook: it feeds the local engine and
+// originates a block rule when the fleet-view rate crosses the
+// threshold. Blocklist denials are not counted — a fingerprint already
+// caught must not re-trigger — and everything else is evidence of
+// volume, mirroring loadgen.RuleDeployer.
+func (n *node) onDecision(r *http.Request, info httpgate.ClientInfo, deniedBy string) {
+	if !info.HasFingerprint || deniedBy == httpgate.ReasonBlocklist {
+		return
+	}
+	if len(n.watch) > 0 && !n.watch[r.URL.Path] {
+		return
+	}
+	now := n.clock.Now()
+	key := "fp:" + strconv.FormatUint(info.Fingerprint, 16)
+	local := n.engine.ObserveAttr(key, info.IP, now)
+	if n.cluster.cfg.RuleThreshold <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fleet := local
+	if n.peerView != nil {
+		fleet += n.peerView.Rate(key, now)
+	}
+	if fleet < n.cluster.cfg.RuleThreshold || n.seen[key] {
+		return
+	}
+	n.seen[key] = true
+	n.seq++
+	n.originated = append(n.originated, Rule{Origin: n.id, Seq: n.seq, Key: key, At: now})
+	n.blocks.Block(key, now)
+}
+
+// maybeGossip runs one exchange round if at least one gossip interval has
+// elapsed. At most one round runs per elapsed interval no matter how many
+// requests race past the check.
+func (c *Cluster) maybeGossip(now time.Time) {
+	if c.cfg.Gossip <= 0 {
+		return
+	}
+	if now.UnixNano()-c.lastGossip.Load() < int64(c.cfg.Gossip) {
+		return
+	}
+	c.gossipMu.Lock()
+	defer c.gossipMu.Unlock()
+	if now.UnixNano()-c.lastGossip.Load() < int64(c.cfg.Gossip) {
+		return
+	}
+	c.gossip(now)
+	c.lastGossip.Store(now.UnixNano())
+}
+
+// Gossip forces one exchange round at the given instant, regardless of
+// the interval.
+func (c *Cluster) Gossip(now time.Time) {
+	c.gossipMu.Lock()
+	defer c.gossipMu.Unlock()
+	c.gossip(now)
+	c.lastGossip.Store(now.UnixNano())
+}
+
+// gossip runs one anti-entropy round: every node publishes its snapshot,
+// then every node absorbs its peers'. Publishing completes first so a
+// round converges the whole fleet on this round's snapshots. Callers hold
+// gossipMu.
+func (c *Cluster) gossip(now time.Time) {
+	for _, n := range c.nodes {
+		c.transport.Publish(n.snapshot(c.cfg.ReplicateState))
+	}
+	for _, n := range c.nodes {
+		n.absorb(now)
+	}
+	c.rounds.Add(1)
+}
+
+// snapshot assembles the node's published payload.
+func (n *node) snapshot(includeState bool) Snapshot {
+	n.mu.Lock()
+	rules := make([]Rule, len(n.originated))
+	copy(rules, n.originated)
+	n.mu.Unlock()
+	snap := Snapshot{Node: n.id, Rules: rules}
+	if includeState {
+		snap.State = n.engine.State().Encode()
+	}
+	return snap
+}
+
+// absorb folds every peer's latest snapshot into this node: rule deltas
+// beyond the per-origin high-water mark land in the local blocklist, and
+// peer states merge into a fresh fleet view. The view is rebuilt from
+// scratch each round — never re-merged — because State.Merge is additive.
+func (n *node) absorb(now time.Time) {
+	c := n.cluster
+	var view *signal.State
+	for _, peer := range c.nodes {
+		if peer.id == n.id {
+			continue
+		}
+		snap, ok := c.transport.Fetch(peer.id)
+		if !ok {
+			continue
+		}
+		if c.cfg.ReplicateState && len(snap.State) > 0 {
+			if st, err := signal.DecodeState(snap.State); err == nil {
+				if view == nil {
+					view = st
+				} else {
+					view.Merge(st)
+				}
+			}
+		}
+		if c.cfg.ReplicateRules {
+			n.applyRules(snap, now)
+		}
+	}
+	n.mu.Lock()
+	n.peerView = view
+	n.mu.Unlock()
+}
+
+// applyRules applies the delta of a peer's rule log past the high-water
+// mark: idempotent on re-delivery, ordered by the origin's sequence.
+func (n *node) applyRules(snap Snapshot, now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hw := n.applied[snap.Node]
+	for _, r := range snap.Rules {
+		if r.Seq <= hw {
+			continue
+		}
+		hw = r.Seq
+		n.blocks.Block(r.Key, now)
+		n.seen[r.Key] = true
+		n.replicated++
+		n.cluster.observePropagation(now.Sub(r.At))
+	}
+	n.applied[snap.Node] = hw
+}
+
+// observePropagation records one rule's origination→application delay.
+func (c *Cluster) observePropagation(d time.Duration) {
+	c.propSum.Add(int64(d))
+	c.propCount.Add(1)
+	if c.propHist != nil {
+		c.propHist.Observe(d.Seconds())
+	}
+}
+
+// Nodes returns the fleet size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// GossipRounds returns how many exchange rounds have run.
+func (c *Cluster) GossipRounds() uint64 { return c.rounds.Load() }
+
+// NodeGate returns node i's gate, for telemetry or direct inspection.
+func (c *Cluster) NodeGate(i int) *httpgate.Gate { return c.nodes[i].gate }
+
+// NodeBlocks returns node i's blocklist.
+func (c *Cluster) NodeBlocks(i int) *mitigate.BlockList { return c.nodes[i].blocks }
+
+// Rules returns every rule originated anywhere in the fleet, ordered by
+// origination time (ties by origin, then sequence).
+func (c *Cluster) Rules() []Rule {
+	var all []Rule
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		all = append(all, n.originated...)
+		n.mu.Unlock()
+	}
+	sortRules(all)
+	return all
+}
+
+// sortRules orders rules by (At, Origin, Seq).
+func sortRules(rules []Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// MergedState folds every node's local engine into one fleet-wide
+// signal.State — the quiesced ground truth the per-node gossip views
+// converge toward, and the snapshot the determinism goldens compare.
+func (c *Cluster) MergedState() *signal.State {
+	var st *signal.State
+	for _, n := range c.nodes {
+		s := n.engine.State()
+		if st == nil {
+			st = s
+		} else {
+			st.Merge(s)
+		}
+	}
+	return st
+}
+
+// Stats is the cluster's aggregate replication snapshot.
+type Stats struct {
+	// Nodes is the fleet size.
+	Nodes int
+	// GossipRounds counts completed anti-entropy rounds.
+	GossipRounds uint64
+	// RulesOriginated counts rules deployed by fleet detectors.
+	RulesOriginated int
+	// RulesReplicated counts remote rule applications; a rule fully
+	// propagated through an N-node fleet contributes N-1.
+	RulesReplicated uint64
+	// MeanPropagation is the average origination→application delay over
+	// all replicated rules; zero when nothing replicated.
+	MeanPropagation time.Duration
+	// Observed is the fleet-wide engine observation total.
+	Observed uint64
+}
+
+// Stats snapshots the fleet's replication counters; exact when quiesced.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Nodes:           len(c.nodes),
+		GossipRounds:    c.rounds.Load(),
+		RulesReplicated: c.propCount.Load(),
+	}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		st.RulesOriginated += len(n.originated)
+		n.mu.Unlock()
+		st.Observed += n.engine.Observed()
+	}
+	if st.RulesReplicated > 0 {
+		st.MeanPropagation = time.Duration(
+			uint64(c.propSum.Load()) / st.RulesReplicated)
+	}
+	return st
+}
+
+// Fleet is a cluster serving on a real listener, the shape load runs
+// drive (mirrors loadgen.StartTarget).
+type Fleet struct {
+	// Cluster is the running fleet behind the listener.
+	Cluster *Cluster
+	// URL is the front's root, ready for loadgen's RunnerConfig.BaseURL.
+	URL string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Start assembles the cluster and serves its front on an ephemeral
+// 127.0.0.1 port.
+func Start(cfg Config) (*Fleet, error) {
+	c := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: front listen: %w", err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Fleet{
+		Cluster: c,
+		URL:     "http://" + ln.Addr().String(),
+		srv:     srv,
+		ln:      ln,
+	}, nil
+}
+
+// Close shuts the front down.
+func (f *Fleet) Close() error { return f.srv.Close() }

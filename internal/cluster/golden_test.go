@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"funabuse/internal/loadgen"
+	"funabuse/internal/simclock"
+)
+
+// goldenRun replays the seed-1 distributed low-and-slow plan against a
+// fresh fleet under virtual pacing and returns the cluster plus the run
+// result. Virtual pacing serializes dispatch (one request in flight, the
+// manual clock set to each arrival), so gossip rounds fire at
+// deterministic request boundaries regardless of the worker count.
+func goldenRun(t *testing.T, nodes, workers int, router Router, replicate bool) (*Cluster, *loadgen.Result) {
+	t.Helper()
+	sc := loadgen.LowAndSlowScenario(1, epoch)
+	plan, err := loadgen.BuildPlan(sc)
+	if err != nil {
+		t.Fatalf("build plan: %v", err)
+	}
+	manual := simclock.NewManual(epoch)
+	fleet, err := Start(Config{
+		Nodes:          nodes,
+		Clock:          manual,
+		Router:         router,
+		Gossip:         2 * time.Second,
+		ReplicateRules: replicate,
+		ReplicateState: replicate,
+		RuleThreshold:  80,
+		RuleWindow:     20 * time.Second,
+		RulePaths:      []string{loadgen.PathHold, loadgen.PathSMS},
+	})
+	if err != nil {
+		t.Fatalf("start fleet: %v", err)
+	}
+	defer fleet.Close()
+	runner, err := loadgen.NewRunner(loadgen.RunnerConfig{
+		Plan:    plan,
+		BaseURL: fleet.URL,
+		Workers: workers,
+		Virtual: manual,
+	})
+	if err != nil {
+		t.Fatalf("new runner: %v", err)
+	}
+	res, err := runner.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return fleet.Cluster, res
+}
+
+func TestClusterGoldenWorkers(t *testing.T) {
+	// Worker count is a throughput knob, never a semantics knob: the
+	// same plan through 1 and 4 workers must leave byte-identical merged
+	// sketch state, identical rule logs, and identical per-class tallies.
+	c1, r1 := goldenRun(t, 4, 1, NewRandomRouter(1), true)
+	c4, r4 := goldenRun(t, 4, 4, NewRandomRouter(1), true)
+
+	if !reflect.DeepEqual(c1.Rules(), c4.Rules()) {
+		t.Fatalf("rule logs differ across worker counts:\n1: %+v\n4: %+v", c1.Rules(), c4.Rules())
+	}
+	s1, s4 := c1.MergedState(), c4.MergedState()
+	if !reflect.DeepEqual(s1, s4) {
+		t.Fatal("merged sketch state differs across worker counts")
+	}
+	if !bytes.Equal(s1.Encode(), s4.Encode()) {
+		t.Fatal("merged state encodings differ across worker counts")
+	}
+	if !reflect.DeepEqual(r1.Classes, r4.Classes) {
+		t.Fatalf("class tallies differ across worker counts:\n1: %+v\n4: %+v", r1.Classes, r4.Classes)
+	}
+	if !reflect.DeepEqual(r1.Rotations(), r4.Rotations()) {
+		t.Fatal("rotation logs differ across worker counts")
+	}
+	if g1, g4 := c1.GossipRounds(), c4.GossipRounds(); g1 == 0 || g1 != g4 {
+		t.Fatalf("gossip rounds %d vs %d, want equal and > 0", g1, g4)
+	}
+}
+
+// normalizedRules projects a rule log onto (Key, At): under hash routing
+// a key's owner differs between fleet sizes, so Origin and Seq are
+// topology, not semantics.
+func normalizedRules(rules []Rule) []Rule {
+	out := make([]Rule, len(rules))
+	for i, r := range rules {
+		out[i] = Rule{Key: r.Key, At: r.At}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func TestClusterGoldenNodesHashRouted(t *testing.T) {
+	// Under hash routing every fingerprint's volume lands wholly on its
+	// owner, so sharding the fleet 1→4 ways must not change detection:
+	// the merged sketch state and the (Key, At) rule log are invariant.
+	c1, r1 := goldenRun(t, 1, 2, HashRouter{}, true)
+	c4, r4 := goldenRun(t, 4, 2, HashRouter{}, true)
+
+	if !reflect.DeepEqual(normalizedRules(c1.Rules()), normalizedRules(c4.Rules())) {
+		t.Fatalf("normalized rule logs differ across fleet sizes:\n1: %+v\n4: %+v",
+			normalizedRules(c1.Rules()), normalizedRules(c4.Rules()))
+	}
+	s1, s4 := c1.MergedState(), c4.MergedState()
+	if !reflect.DeepEqual(s1, s4) {
+		t.Fatal("merged sketch state differs across fleet sizes")
+	}
+	if !bytes.Equal(s1.Encode(), s4.Encode()) {
+		t.Fatal("merged state encodings differ across fleet sizes")
+	}
+	if !reflect.DeepEqual(r1.Classes, r4.Classes) {
+		t.Fatalf("class tallies differ across fleet sizes:\n1: %+v\n4: %+v", r1.Classes, r4.Classes)
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Rule is one blocklist rule with its replication metadata: the node that
+// originated it, the per-origin sequence number that orders it, the
+// blocklist key it denies, and the origination instant.
+type Rule struct {
+	Origin int
+	Seq    uint64
+	Key    string
+	At     time.Time
+}
+
+// Snapshot is one node's published anti-entropy payload: its full
+// originated-rule log in sequence order — receivers keep a per-origin
+// high-water mark and apply only the delta, so re-reading the full log is
+// idempotent — and, when sketch replication is on, the signal.State wire
+// encoding of its local engine.
+type Snapshot struct {
+	Node  int
+	Rules []Rule
+	State []byte
+}
+
+// Transport moves snapshots between nodes. Publish replaces the node's
+// visible snapshot; Fetch reads the latest one published for a node.
+// Implementations must be safe for concurrent use. InProc is the
+// in-process implementation; the interface is the seam where a later PR
+// drops in real sockets behind the same anti-entropy loop.
+type Transport interface {
+	Publish(snap Snapshot)
+	Fetch(node int) (Snapshot, bool)
+}
+
+// InProc is the in-process Transport: a mutex-guarded map of the latest
+// snapshot per node.
+type InProc struct {
+	mu    sync.Mutex
+	snaps map[int]Snapshot
+}
+
+// NewInProc returns an empty in-process transport.
+func NewInProc() *InProc {
+	return &InProc{snaps: make(map[int]Snapshot)}
+}
+
+// Publish implements Transport.
+func (t *InProc) Publish(snap Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.snaps[snap.Node] = snap
+}
+
+// Fetch implements Transport.
+func (t *InProc) Fetch(node int) (Snapshot, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap, ok := t.snaps[node]
+	return snap, ok
+}

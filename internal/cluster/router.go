@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"funabuse/internal/simrand"
+)
+
+// RouteInfo is the client attribution the front extracts before picking a
+// node: the collector fingerprint when the header parsed, and the client
+// address as a fallback routing key.
+type RouteInfo struct {
+	Fingerprint    uint64
+	HasFingerprint bool
+	IP             string
+}
+
+// Router picks which of n nodes serves a request. Implementations must be
+// safe for concurrent use; deterministic routers (HashRouter, a seeded
+// RandomRouter under virtual pacing) keep full cluster runs
+// seed-deterministic.
+type Router interface {
+	Route(info RouteInfo, n int) int
+}
+
+// HashRouter pins each client fingerprint to one node with a jump
+// consistent hash, so a key's entire volume lands on a single vantage
+// point — the sticky-session topology where per-node detection works and
+// which distributed attackers avoid. Requests without a fingerprint hash
+// their client address instead.
+type HashRouter struct{}
+
+// Route implements Router.
+func (HashRouter) Route(info RouteInfo, n int) int {
+	key := info.Fingerprint
+	if !info.HasFingerprint {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(info.IP))
+		key = h.Sum64()
+	}
+	return jumpHash(key, n)
+}
+
+// RandomRouter models a dumb load balancer: every request lands on a
+// uniformly drawn node regardless of identity, so one attacker's volume
+// spreads across the whole fleet and no single node sees the surge — the
+// topology the distributed low-and-slow scenario exploits. The draw
+// sequence is seeded, so virtual-paced runs stay deterministic.
+type RandomRouter struct {
+	mu  sync.Mutex
+	rng *simrand.RNG
+}
+
+// NewRandomRouter returns a router drawing from the given seed.
+func NewRandomRouter(seed uint64) *RandomRouter {
+	return &RandomRouter{rng: simrand.New(seed)}
+}
+
+// Route implements Router.
+func (r *RandomRouter) Route(_ RouteInfo, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(n)
+}
+
+// jumpHash is Lamping & Veach's jump consistent hash: O(ln n), no
+// per-bucket state, and only 1/n of keys move when a node joins.
+func jumpHash(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -226,10 +226,11 @@ type Config struct {
 	// rings; zero selects signal.DefaultWindowBuckets.
 	WindowBuckets int
 
-	// telemetry and traces are set only through WithTelemetry and
-	// WithTraces: new cross-cutting concerns arrive as options, not as
-	// further growth of this struct.
+	// telemetry, telLabels and traces are set only through WithTelemetry,
+	// WithTelemetryLabels and WithTraces: new cross-cutting concerns
+	// arrive as options, not as further growth of this struct.
 	telemetry *obs.Registry
+	telLabels []obs.Label
 	traces    *obs.TraceRing
 }
 

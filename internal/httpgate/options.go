@@ -31,6 +31,17 @@ func WithTelemetry(reg *obs.Registry) Option {
 	return func(cfg *Config) { cfg.telemetry = reg }
 }
 
+// WithTelemetryLabels attaches base labels to every metric the gate
+// registers or emits: the latency histogram, the per-reason denial
+// counters, and every Collector sample. It is how several gates share one
+// registry without colliding series — give each gate a distinguishing
+// label (e.g. {Name: "node", Value: "3"} per fleet member) and their
+// families stay separate while point reads that name only the metric keep
+// working.
+func WithTelemetryLabels(labels ...obs.Label) Option {
+	return func(cfg *Config) { cfg.telLabels = labels }
+}
+
 // WithTraces journals every decision into ring as an obs.Span (path,
 // verdict, latency, degraded layers). Recording copies into preallocated
 // slots and adds no allocations to the decision path.

@@ -47,12 +47,15 @@ func (g *Gate) initTelemetry(reg *obs.Registry, traces *obs.TraceRing) {
 	}
 	tel := &gateTelemetry{traces: traces}
 	if reg != nil {
+		base := g.cfg.telLabels
 		reg.Help(MetricLatency, "Gate decision latency in seconds.")
 		reg.Help(MetricDenials, "Denied requests by denial reason.")
-		tel.latency = reg.Histogram(MetricLatency, nil)
+		tel.latency = reg.Histogram(MetricLatency, nil, base...)
 		tel.denials = make(map[string]*obs.Counter, len(allReasons))
 		for _, reason := range allReasons {
-			tel.denials[reason] = reg.Counter(MetricDenials, obs.Label{Name: "reason", Value: reason})
+			lbls := append(append(make([]obs.Label, 0, len(base)+1), base...),
+				obs.Label{Name: "reason", Value: reason})
+			tel.denials[reason] = reg.Counter(MetricDenials, lbls...)
 		}
 		reg.Register(g.Collector())
 	}
@@ -93,16 +96,24 @@ func (g *Gate) observeDecision(start time.Time, path, reason string, mask uint8)
 // Collector exposes the gate's decision and per-layer resilience counters
 // as the obs snapshot contract — the gate's only stats surface. Point
 // reads go through obs.Value; full scrapes through an obs.Registry.
+// Every sample carries the gate's WithTelemetryLabels base labels, so the
+// collectors of a gate fleet compose on one registry.
 func (g *Gate) Collector() obs.Collector {
+	base := g.cfg.telLabels
+	layerLabels := make([][]obs.Label, numLayers)
+	for l := LayerBlocklist; l < numLayers; l++ {
+		layerLabels[l] = append(append(make([]obs.Label, 0, len(base)+1), base...),
+			obs.Label{Name: "layer", Value: l.String()})
+	}
 	return obs.CollectorFunc(func(dst []obs.Sample) []obs.Sample {
 		dst = append(dst,
-			obs.Sample{Name: MetricAdmitted, Value: float64(g.admitted.Load())},
-			obs.Sample{Name: MetricDenied, Value: float64(g.denied.Load())},
-			obs.Sample{Name: MetricDegraded, Value: float64(g.degraded.Load())},
+			obs.Sample{Name: MetricAdmitted, Labels: base, Value: float64(g.admitted.Load())},
+			obs.Sample{Name: MetricDenied, Labels: base, Value: float64(g.denied.Load())},
+			obs.Sample{Name: MetricDegraded, Labels: base, Value: float64(g.degraded.Load())},
 		)
 		for l := LayerBlocklist; l < numLayers; l++ {
 			gd := &g.guards[l]
-			lbl := []obs.Label{{Name: "layer", Value: l.String()}}
+			lbl := layerLabels[l]
 			dst = append(dst,
 				obs.Sample{Name: MetricLayerErrors, Labels: lbl, Value: float64(gd.errors.Load())},
 				obs.Sample{Name: MetricLayerPanics, Labels: lbl, Value: float64(gd.panics.Load())},

@@ -102,6 +102,50 @@ func TestGateTelemetryCountsDecisions(t *testing.T) {
 	}
 }
 
+// TestWithTelemetryLabels puts two node-labelled gates on one registry
+// and checks their counter families stay separate series, that the base
+// labels ride along on collector samples, and that unlabelled obs.Value
+// point-reads still resolve.
+func TestWithTelemetryLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	node := func(i string) obs.Label { return obs.Label{Name: "node", Value: i} }
+	g0 := telemetryGate(reg, nil, WithTelemetryLabels(node("0")))
+	g1 := telemetryGate(reg, nil, WithTelemetryLabels(node("1")))
+	h0 := g0.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h1 := g1.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+
+	// Three through node 0 (third denied by the 2/hour profile limit),
+	// one through node 1.
+	for range 3 {
+		doGet(t, h0, "/booking/1", "sid-1")
+	}
+	doGet(t, h1, "/booking/1", "sid-1")
+
+	samples := reg.Gather()
+	if got := findSample(t, samples, MetricAdmitted, node("0")); got != 2 {
+		t.Fatalf("node 0 admitted = %v, want 2", got)
+	}
+	if got := findSample(t, samples, MetricAdmitted, node("1")); got != 1 {
+		t.Fatalf("node 1 admitted = %v, want 1", got)
+	}
+	if got := findSample(t, samples, MetricDenials,
+		node("0"), obs.Label{Name: "reason", Value: ReasonProfile}); got != 1 {
+		t.Fatalf("node 0 profile denials = %v, want 1", got)
+	}
+	if got := findSample(t, samples, MetricLatency+"_count", node("1")); got != 1 {
+		t.Fatalf("node 1 latency count = %v, want 1", got)
+	}
+
+	// The snapshot collector carries the base labels too, and the
+	// label-less point-read still finds the first matching series.
+	if got := findSample(t, g0.Collector().Collect(nil), MetricAdmitted, node("0")); got != 2 {
+		t.Fatalf("collector admitted = %v, want 2", got)
+	}
+	if got := gateStat(t, g0, MetricAdmitted); got != 2 {
+		t.Fatalf("obs.Value admitted = %d, want 2", got)
+	}
+}
+
 // TestGateTelemetryExposition renders an instrumented gate through a full
 // registry scrape and checks the output parses.
 func TestGateTelemetryExposition(t *testing.T) {

@@ -1,0 +1,47 @@
+package loadgen
+
+import "time"
+
+// Default request paths the built-in scenario shapes target, exported so
+// experiment commands and cluster runs agree on the watched surface.
+const (
+	PathSearch = "/search"
+	PathHold   = "/booking/hold"
+	PathSMS    = "/checkin/boardingpass/sms"
+)
+
+// LowAndSlowScenario is the distributed functional-abuse shape: honest
+// background browsing plus a small fleet of LowAndSlow bots holding a
+// steady per-fingerprint rate against the sensitive paths. The rate is
+// tuned so one fingerprint's full volume is flagrant inside a ~20-second
+// detection window while its 1/N share — what each node of a randomly
+// routed fleet sees — stays under any sane per-node threshold; the
+// attack is visible only to a defence that merges vantage points. The
+// bots hold fixed identities (no ReactionMean), so the attacker's leak
+// rate is a pure function of the defence's detection and rule-propagation
+// latency — the quantity the clustersim gossip sweep measures.
+func LowAndSlowScenario(seed uint64, start time.Time) Scenario {
+	return Scenario{
+		Seed:  seed,
+		Start: start,
+		Classes: []Class{
+			{
+				Name:    "honest",
+				Kind:    Honest,
+				Clients: 10,
+				Paths:   []string{PathSearch, PathHold, PathSMS},
+				Phases:  []Phase{{Dur: 60 * time.Second, Rate: 3}},
+			},
+			{
+				Name:    "lowslow",
+				Kind:    LowAndSlow,
+				Clients: 2,
+				Paths:   []string{PathHold, PathSMS},
+				Phases: []Phase{
+					{Dur: 5 * time.Second, Rate: 0},
+					{Dur: 55 * time.Second, Rate: 12},
+				},
+			},
+		},
+	}
+}

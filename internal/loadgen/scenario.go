@@ -50,6 +50,15 @@ const (
 	// many booking references on the SMS path, with the same reactive
 	// rotation behaviour.
 	SMSPump
+	// LowAndSlow bots model the distributed shape the paper warns
+	// defenders about: a steady, individually modest per-fingerprint rate
+	// whose requests a dumb load balancer spreads across a whole gate
+	// fleet, so no single node sees a surge while the fleet-wide volume
+	// is plainly abusive. Unlike the burst kinds their playbook is
+	// patience: a fixed identity held for the whole run, betting on never
+	// tripping a per-node threshold rather than on out-rotating rules
+	// (give the class a ReactionMean to make them rotate too).
+	LowAndSlow
 )
 
 // String names the kind for labels and reports.
@@ -61,6 +70,8 @@ func (k ClassKind) String() string {
 		return "seatspin"
 	case SMSPump:
 		return "smspump"
+	case LowAndSlow:
+		return "lowslow"
 	default:
 		return "unknown"
 	}

@@ -1,12 +1,16 @@
 package obs_test
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
+	"funabuse/internal/cluster"
 	"funabuse/internal/detect"
 	"funabuse/internal/httpgate"
 	"funabuse/internal/obs"
@@ -91,6 +95,30 @@ func TestCollectorConformance(t *testing.T) {
 				return ring.Collector()
 			},
 		},
+		{
+			name: "cluster.Cluster",
+			build: func(t *testing.T) obs.Collector {
+				manual := simclock.NewManual(confT0)
+				c := cluster.New(cluster.Config{
+					Nodes:          2,
+					Clock:          manual,
+					Gossip:         time.Second,
+					ReplicateRules: true,
+					ReplicateState: true,
+					RuleThreshold:  2,
+					RuleWindow:     time.Minute,
+				})
+				h := c.Handler()
+				for range 3 {
+					manual.Advance(200 * time.Millisecond)
+					r := httptest.NewRequest(http.MethodGet, "/booking/hold", nil)
+					r.Header.Set(httpgate.FingerprintHeader, "beef")
+					r.RemoteAddr = "203.0.113.9:999"
+					h.ServeHTTP(httptest.NewRecorder(), r)
+				}
+				return c.Collector()
+			},
+		},
 	}
 
 	for _, tc := range cases {
@@ -141,6 +169,76 @@ func sampleID(s obs.Sample) string {
 		id += "|" + l.Name + "=" + l.Value
 	}
 	return id
+}
+
+// TestFleetGatesShareOneRegistry drives N node-labelled gates on one
+// registry while scraping it concurrently — the cluster telemetry shape.
+// The race detector polices the concurrent phase; afterwards the quiesced
+// registry must hold no duplicate series and scrape deterministically.
+func TestFleetGatesShareOneRegistry(t *testing.T) {
+	const nodes = 4
+	reg := obs.NewRegistry()
+	gates := make([]*httpgate.Gate, nodes)
+	for i := range gates {
+		gates[i] = httpgate.New(httpgate.Config{
+			PathLimit:  3,
+			PathWindow: time.Hour,
+		}, httpgate.WithClock(simclock.NewManual(confT0)),
+			httpgate.WithTelemetry(reg),
+			httpgate.WithTelemetryLabels(obs.Label{Name: "node", Value: strconv.Itoa(i)}))
+	}
+
+	var wg sync.WaitGroup
+	for i, g := range gates {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+			for j := range 8 {
+				r := httptest.NewRequest(http.MethodGet, "/checkout", nil)
+				r.RemoteAddr = fmt.Sprintf("203.0.113.%d:%d", i+1, 1000+j)
+				h.ServeHTTP(httptest.NewRecorder(), r)
+			}
+		}()
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for range 10 {
+			reg.Gather()
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	first := reg.Gather()
+	seen := make(map[string]bool, len(first))
+	perNode := make(map[string]float64, nodes)
+	for _, s := range first {
+		id := sampleID(s)
+		if seen[id] {
+			t.Fatalf("duplicate series %s", id)
+		}
+		seen[id] = true
+		if s.Name == httpgate.MetricAdmitted {
+			for _, l := range s.Labels {
+				if l.Name == "node" {
+					perNode[l.Value] = s.Value
+				}
+			}
+		}
+	}
+	if len(perNode) != nodes {
+		t.Fatalf("admitted series for %d nodes, want %d: %v", len(perNode), nodes, perNode)
+	}
+	for n, v := range perNode {
+		if v != 3 {
+			t.Fatalf("node %s admitted %v, want 3 (path limit)", n, v)
+		}
+	}
+	if second := reg.Gather(); !reflect.DeepEqual(first, second) {
+		t.Fatal("quiesced registry scrape not deterministic")
+	}
 }
 
 // TestCollectorsComposeOnOneRegistry scrapes all four subsystem

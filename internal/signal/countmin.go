@@ -99,6 +99,16 @@ func (c *CountMin) ErrorBound() float64 {
 	return math.E / float64(c.width) * float64(c.total)
 }
 
+// Clone returns a deep copy of the sketch.
+func (c *CountMin) Clone() *CountMin {
+	n := NewCountMin(c.width, c.depth)
+	for i := range c.rows {
+		copy(n.rows[i], c.rows[i])
+	}
+	n.total = c.total
+	return n
+}
+
 // Merge folds another sketch of identical dimensions into this one.
 // It reports whether the shapes matched (mismatched sketches are left
 // untouched).

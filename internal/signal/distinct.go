@@ -78,6 +78,13 @@ func (d *Distinct) StdError() float64 {
 	return 1.04 / math.Sqrt(float64(len(d.regs)))
 }
 
+// Clone returns a deep copy of the counter.
+func (d *Distinct) Clone() *Distinct {
+	c := &Distinct{p: d.p, regs: make([]uint8, len(d.regs))}
+	copy(c.regs, d.regs)
+	return c
+}
+
 // Merge folds another counter of identical precision into this one,
 // yielding the counter of the union stream. It reports whether the
 // precisions matched.

@@ -2,6 +2,7 @@ package signal
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"funabuse/internal/simrand"
@@ -208,5 +209,80 @@ func TestTopKBoundedSize(t *testing.T) {
 		if c, ok := tk.Count("definitely-missing"); ok || c != 0 {
 			t.Fatal("untracked key reported as tracked")
 		}
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	a, b := NewTopK(8), NewTopK(8)
+	a.Offer("x", 3)
+	a.Offer("y", 5)
+	b.Offer("x", 4)
+	b.Offer("z", 2)
+	if !a.Merge(b) {
+		t.Fatal("merge of identical capacities failed")
+	}
+	// Neither table was full, so absent keys contribute a zero floor and
+	// every merged estimate is exact.
+	for key, want := range map[string]uint64{"x": 7, "y": 5, "z": 2} {
+		got, ok := a.Count(key)
+		if !ok || got != want {
+			t.Fatalf("%s: merged count %d (tracked=%v), want %d", key, got, ok, want)
+		}
+	}
+	if top := a.Top(1); top[0].Key != "x" {
+		t.Fatalf("merged heaviest %s, want x", top[0].Key)
+	}
+	if a.Merge(NewTopK(4)) {
+		t.Fatal("merge of mismatched capacities accepted")
+	}
+}
+
+func TestTopKMergeNeverUndercounts(t *testing.T) {
+	// Shard a Zipf stream across two small tables, merge, and check the
+	// mergeable-summaries guarantee: merged estimates upper-bound the
+	// union-stream truth, and Count-Err lower-bounds it.
+	stream, exact := zipfStream(11, 100_000, 5_000, 1.2)
+	a, b := NewTopK(20), NewTopK(20)
+	for i, k := range stream {
+		if i%2 == 0 {
+			a.Offer(k, 1)
+		} else {
+			b.Offer(k, 1)
+		}
+	}
+	if !a.Merge(b) {
+		t.Fatal("merge failed")
+	}
+	for _, e := range a.Top(0) {
+		truth := uint64(exact[e.Key])
+		if e.Count < truth {
+			t.Fatalf("%s: merged estimate %d below truth %d", e.Key, e.Count, truth)
+		}
+		if e.Count-e.Err > truth {
+			t.Fatalf("%s: guaranteed floor %d above truth %d", e.Key, e.Count-e.Err, truth)
+		}
+	}
+}
+
+func TestTopKMergeCanonicalLayout(t *testing.T) {
+	// Merging the same contents in either direction must leave identical
+	// tables — the cluster goldens DeepEqual merged fleet state.
+	mk := func() (*TopK, *TopK) {
+		a, b := NewTopK(4), NewTopK(4)
+		for i := range 40 {
+			a.Offer("a"+itoa(i%6), 1)
+			b.Offer("b"+itoa(i%5), 1)
+		}
+		return a, b
+	}
+	a1, b1 := mk()
+	a2, b2 := mk()
+	a1.Merge(b1)
+	b2.Merge(a2)
+	if !reflect.DeepEqual(a1.Top(0), b2.Top(0)) {
+		t.Fatalf("merge not commutative on entries:\n%v\n%v", a1.Top(0), b2.Top(0))
+	}
+	if !reflect.DeepEqual(a1, a1.Clone()) {
+		t.Fatal("clone differs from canonical merged table")
 	}
 }

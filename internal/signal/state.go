@@ -1,0 +1,556 @@
+package signal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State is a dimension-level snapshot of an Engine's mergeable signals,
+// folded across shards and freed of shard structure: per-key window
+// rings, per-key distinct counters, and one count-min sketch, heavy-hitter
+// table and surge detector for the whole dimension. It is the unit of
+// sketch replication in a gate fleet — each node snapshots its local
+// engine, ships the compact Encode form, and peers fold received states
+// into a fleet view.
+//
+// Merge is additive: folding the same snapshot in twice double-counts.
+// A view assembled from periodic exchanges must therefore be rebuilt from
+// the latest snapshots each round, never re-merged cumulatively.
+//
+// State is not safe for concurrent use.
+type State struct {
+	window    time.Duration
+	buckets   int
+	precision uint8 // 0 when distinct counting is disabled
+	observed  uint64
+	windows   map[string]*Window
+	distinct  map[string]*Distinct // nil when disabled
+	sketch    *CountMin            // nil when disabled
+	topk      *TopK                // nil when disabled
+	surge     *SurgeDetector       // nil when disabled
+}
+
+// State snapshots the engine's mergeable signals into a shard-free State:
+// per-key structures are deep-copied, and the per-shard sketch, top-K
+// table and surge detector are folded into one of each. Each shard is
+// copied under its own lock, so the snapshot is consistent per shard and
+// exact when the engine is quiesced.
+//
+// The folded top-K table keeps the engine's configured k across the whole
+// dimension, so its estimates carry the usual mergeable-summaries error
+// bounds rather than per-shard exactness.
+func (e *Engine) State() *State {
+	st := &State{
+		window:   e.cfg.Window,
+		buckets:  e.cfg.WindowBuckets,
+		observed: e.observed.Load(),
+		windows:  make(map[string]*Window),
+	}
+	if !e.cfg.DisableDistinct {
+		st.precision = e.cfg.DistinctPrecision
+		st.distinct = make(map[string]*Distinct)
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		for k, w := range s.windows {
+			st.windows[k] = w.Clone()
+		}
+		for k, d := range s.distinct {
+			st.distinct[k] = d.Clone()
+		}
+		if s.sketch != nil {
+			if st.sketch == nil {
+				st.sketch = s.sketch.Clone()
+			} else {
+				st.sketch.Merge(s.sketch)
+			}
+		}
+		if s.topk != nil {
+			if st.topk == nil {
+				st.topk = s.topk.Clone()
+			} else {
+				st.topk.Merge(s.topk)
+			}
+		}
+		if s.surge != nil {
+			if st.surge == nil {
+				st.surge = s.surge.Clone()
+			} else {
+				st.surge.Merge(s.surge)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Merge folds another snapshot of identical dimensions into this one; the
+// other snapshot is only read. It reports whether every dimension matched
+// (window geometry, enabled signal set, sketch shape, top-K capacity,
+// distinct precision, surge anchoring); on mismatch the receiver is left
+// untouched.
+func (s *State) Merge(o *State) bool {
+	if o == nil || o == s || o.window != s.window || o.buckets != s.buckets {
+		return false
+	}
+	if (s.sketch == nil) != (o.sketch == nil) ||
+		(s.topk == nil) != (o.topk == nil) ||
+		(s.surge == nil) != (o.surge == nil) ||
+		(s.distinct == nil) != (o.distinct == nil) {
+		return false
+	}
+	if s.sketch != nil && (s.sketch.width != o.sketch.width || s.sketch.depth != o.sketch.depth) {
+		return false
+	}
+	if s.topk != nil && s.topk.k != o.topk.k {
+		return false
+	}
+	if s.surge != nil && (!s.surge.start.Equal(o.surge.start) || s.surge.period != o.surge.period) {
+		return false
+	}
+	if s.distinct != nil && s.precision != o.precision {
+		return false
+	}
+	for k, ow := range o.windows {
+		if w, ok := s.windows[k]; ok {
+			w.Merge(ow)
+		} else {
+			s.windows[k] = ow.Clone()
+		}
+	}
+	if s.distinct != nil {
+		for k, od := range o.distinct {
+			if d, ok := s.distinct[k]; ok {
+				d.Merge(od)
+			} else {
+				s.distinct[k] = od.Clone()
+			}
+		}
+	}
+	if s.sketch != nil {
+		s.sketch.Merge(o.sketch)
+	}
+	if s.topk != nil {
+		s.topk.Merge(o.topk)
+	}
+	if s.surge != nil {
+		s.surge.Merge(o.surge)
+	}
+	s.observed += o.observed
+	return true
+}
+
+// Observed returns how many events the snapshotted engine had ingested.
+func (s *State) Observed() uint64 { return s.observed }
+
+// Keys returns how many keys hold per-key window state.
+func (s *State) Keys() int { return len(s.windows) }
+
+// Window returns the nominal sliding-window span.
+func (s *State) Window() time.Duration { return s.window }
+
+// Rate returns key's in-window event count as of now (0 for unseen keys).
+func (s *State) Rate(key string, now time.Time) int {
+	w, ok := s.windows[key]
+	if !ok {
+		return 0
+	}
+	return w.Count(now)
+}
+
+// Freq returns the count-min estimate of key's lifetime frequency, or 0
+// with the sketch disabled.
+func (s *State) Freq(key string) uint64 {
+	if s.sketch == nil {
+		return 0
+	}
+	return s.sketch.Count(key)
+}
+
+// Distinct returns the estimated number of distinct attributes observed
+// for key (0 for unseen keys or with the signal disabled).
+func (s *State) Distinct(key string) float64 {
+	d, ok := s.distinct[key]
+	if !ok {
+		return 0
+	}
+	return d.Estimate()
+}
+
+// Top returns the n heaviest keys (n <= 0 for all tracked), or nil with
+// the signal disabled.
+func (s *State) Top(n int) []TopEntry {
+	if s.topk == nil {
+		return nil
+	}
+	return s.topk.Top(n)
+}
+
+// Surges returns the n largest baseline-relative surges as of now (n <= 0
+// for all), advancing the snapshot's detector to now first; nil with the
+// signal disabled.
+func (s *State) Surges(n int, now time.Time) []KeySurge {
+	if s.surge == nil {
+		return nil
+	}
+	s.surge.Advance(now)
+	return s.surge.Top(n)
+}
+
+// stateMagic opens every encoded State: "functional-abuse signals",
+// format version 1.
+const stateMagic = "FAS1"
+
+// Encode serializes the snapshot into the compact wire form DecodeState
+// reads: varint-packed, sparse (only non-zero window slots and distinct
+// registers travel), with all map keys in sorted order so encoding is a
+// pure function of the snapshot's logical content — byte-identical
+// encodings mean identical states, which the determinism goldens rely on.
+func (s *State) Encode() []byte {
+	b := make([]byte, 0, 1024)
+	b = append(b, stateMagic...)
+	b = binary.AppendUvarint(b, uint64(s.window))
+	b = binary.AppendUvarint(b, uint64(s.buckets))
+	b = binary.AppendUvarint(b, s.observed)
+
+	// Per-key window rings, sparse: only slots holding events travel.
+	keys := sortedKeys(s.windows)
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		w := s.windows[k]
+		b = appendString(b, k)
+		used := 0
+		for _, c := range w.counts {
+			if c != 0 {
+				used++
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(used))
+		for i, c := range w.counts {
+			if c == 0 {
+				continue
+			}
+			b = binary.AppendUvarint(b, uint64(i))
+			b = binary.AppendVarint(b, w.nums[i])
+			b = binary.AppendUvarint(b, uint64(c))
+		}
+	}
+
+	// Per-key distinct counters, sparse registers.
+	if s.distinct == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1, s.precision)
+		keys = sortedKeys(s.distinct)
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			d := s.distinct[k]
+			b = appendString(b, k)
+			used := 0
+			for _, r := range d.regs {
+				if r != 0 {
+					used++
+				}
+			}
+			b = binary.AppendUvarint(b, uint64(used))
+			for i, r := range d.regs {
+				if r == 0 {
+					continue
+				}
+				b = binary.AppendUvarint(b, uint64(i))
+				b = append(b, r)
+			}
+		}
+	}
+
+	// Count-min sketch, dense row-major (small counts varint-pack well).
+	if s.sketch == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(s.sketch.width))
+		b = binary.AppendUvarint(b, uint64(s.sketch.depth))
+		b = binary.AppendUvarint(b, s.sketch.total)
+		for _, row := range s.sketch.rows {
+			for _, v := range row {
+				b = binary.AppendUvarint(b, v)
+			}
+		}
+	}
+
+	// Top-K entries in canonical rank order.
+	if s.topk == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(s.topk.k))
+		entries := s.topk.Top(0)
+		b = binary.AppendUvarint(b, uint64(len(entries)))
+		for _, e := range entries {
+			b = appendString(b, e.Key)
+			b = binary.AppendUvarint(b, e.Count)
+			b = binary.AppendUvarint(b, e.Err)
+		}
+	}
+
+	// Surge detector: anchor, period, current period index, both maps.
+	if s.surge == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendVarint(b, s.surge.start.UnixNano())
+		b = binary.AppendUvarint(b, uint64(s.surge.period))
+		b = binary.AppendVarint(b, s.surge.curIdx)
+		b = appendCountMap(b, s.surge.cur)
+		b = appendCountMap(b, s.surge.prev)
+	}
+	return b
+}
+
+// DecodeState parses an Encode-produced buffer back into a State.
+func DecodeState(b []byte) (*State, error) {
+	if len(b) < len(stateMagic) || string(b[:len(stateMagic)]) != stateMagic {
+		return nil, errors.New("signal: bad state magic")
+	}
+	r := &stateReader{b: b, off: len(stateMagic)}
+	st := &State{
+		window:  time.Duration(r.uvarint()),
+		buckets: int(r.uvarint()),
+	}
+	st.observed = r.uvarint()
+	if st.window <= 0 || st.buckets <= 0 || st.buckets > 1<<20 {
+		return nil, errors.New("signal: bad state window geometry")
+	}
+
+	nWindows := r.count()
+	st.windows = make(map[string]*Window, nWindows)
+	for range nWindows {
+		key := r.string()
+		w := NewWindow(st.window, st.buckets)
+		used := r.count()
+		for range used {
+			slot := int(r.uvarint())
+			num := r.varint()
+			c := r.uvarint()
+			if r.err == nil && slot < len(w.counts) {
+				w.counts[slot] = uint32(c)
+				w.nums[slot] = num
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		st.windows[key] = w
+	}
+
+	if r.byte() == 1 {
+		st.precision = r.byte()
+		if st.precision < 4 || st.precision > 16 {
+			return nil, errors.New("signal: bad distinct precision")
+		}
+		nDistinct := r.count()
+		st.distinct = make(map[string]*Distinct, nDistinct)
+		for range nDistinct {
+			key := r.string()
+			d := NewDistinct(st.precision)
+			used := r.count()
+			for range used {
+				idx := r.uvarint()
+				val := r.byte()
+				if r.err == nil && idx < uint64(len(d.regs)) {
+					d.regs[idx] = val
+				}
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			st.distinct[key] = d
+		}
+	}
+
+	if r.byte() == 1 {
+		width := int(r.uvarint())
+		depth := int(r.uvarint())
+		if r.err != nil || width <= 0 || depth <= 0 || width*depth > 1<<26 {
+			return nil, errors.New("signal: bad sketch shape")
+		}
+		cm := NewCountMin(width, depth)
+		cm.total = r.uvarint()
+		for i := range cm.rows {
+			for j := range cm.rows[i] {
+				cm.rows[i][j] = r.uvarint()
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		st.sketch = cm
+	}
+
+	if r.byte() == 1 {
+		k := int(r.uvarint())
+		if r.err != nil || k < 1 || k > 1<<20 {
+			return nil, errors.New("signal: bad topk capacity")
+		}
+		tk := NewTopK(k)
+		n := r.count()
+		entries := make([]TopEntry, 0, n)
+		for range n {
+			key := r.string()
+			count := r.uvarint()
+			errBound := r.uvarint()
+			entries = append(entries, TopEntry{Key: key, Count: count, Err: errBound})
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(entries) > k {
+			return nil, errors.New("signal: topk entries exceed capacity")
+		}
+		tk.rebuild(entries)
+		st.topk = tk
+	}
+
+	if r.byte() == 1 {
+		start := time.Unix(0, r.varint()).UTC()
+		period := time.Duration(r.uvarint())
+		curIdx := r.varint()
+		if r.err != nil || period <= 0 {
+			return nil, errors.New("signal: bad surge header")
+		}
+		sd := NewSurgeDetector(start, period)
+		sd.curIdx = curIdx
+		if err := readCountMap(r, sd.cur); err != nil {
+			return nil, err
+		}
+		if err := readCountMap(r, sd.prev); err != nil {
+			return nil, err
+		}
+		st.surge = sd
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("signal: %d trailing bytes after state", len(r.b)-r.off)
+	}
+	return st, nil
+}
+
+// stateReader walks an encoded buffer with a sticky error.
+type stateReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+var errTruncated = errors.New("signal: truncated state")
+
+func (r *stateReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *stateReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *stateReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.err = errTruncated
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *stateReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.err = errTruncated
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count reads a collection length, bounding it by the bytes remaining so
+// corrupt input cannot force huge allocations.
+func (r *stateReader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.err = errTruncated
+		return 0
+	}
+	return int(n)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendCountMap(b []byte, m map[string]int) []byte {
+	keys := sortedKeys(m)
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = binary.AppendVarint(b, int64(m[k]))
+	}
+	return b
+}
+
+func readCountMap(r *stateReader, m map[string]int) error {
+	n := r.count()
+	for range n {
+		key := r.string()
+		v := r.varint()
+		if r.err != nil {
+			return r.err
+		}
+		m[key] = int(v)
+	}
+	return r.err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

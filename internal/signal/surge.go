@@ -95,6 +95,49 @@ func (s *SurgeDetector) roll(idx int64) {
 	s.curIdx = idx
 }
 
+// Merge folds another detector with the same anchor and period into this
+// one: the receiver first rolls forward to the later of the two current
+// periods, then per-key counts add, with the other side's current and
+// baseline maps landing in whichever window matches their period index.
+// Counts from periods older than the merged baseline are dropped, exactly
+// as a roll would have dropped them. It reports whether the anchors and
+// periods matched; mismatched detectors are left untouched.
+func (s *SurgeDetector) Merge(o *SurgeDetector) bool {
+	if o == nil || !o.start.Equal(s.start) || o.period != s.period {
+		return false
+	}
+	if o.curIdx > s.curIdx {
+		s.roll(o.curIdx)
+	}
+	switch {
+	case o.curIdx == s.curIdx:
+		addCounts(s.cur, o.cur)
+		addCounts(s.prev, o.prev)
+	case o.curIdx == s.curIdx-1:
+		addCounts(s.prev, o.cur)
+	}
+	return true
+}
+
+// Clone returns a deep copy of the detector.
+func (s *SurgeDetector) Clone() *SurgeDetector {
+	c := NewSurgeDetector(s.start, s.period)
+	c.curIdx = s.curIdx
+	for k, v := range s.cur {
+		c.cur[k] = v
+	}
+	for k, v := range s.prev {
+		c.prev[k] = v
+	}
+	return c
+}
+
+func addCounts(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
 // Advance rolls the detector forward to the period containing now without
 // recording an event, so queries after a quiet stretch see fresh windows.
 func (s *SurgeDetector) Advance(now time.Time) {

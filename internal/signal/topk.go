@@ -99,6 +99,78 @@ func (t *TopK) Top(n int) []TopEntry {
 	return out
 }
 
+// Merge folds another tracker of identical capacity into this one using
+// the mergeable-summaries rule for space-saving sketches: a key tracked on
+// both sides sums counts and error bounds; a key absent from one side is
+// assumed to carry that side's minimum tracked count — the largest
+// frequency it could have accumulated without being tracked — added to
+// both the estimate and the error bound, so merged estimates never
+// undercount the union stream. The combined entries are re-ranked and the
+// k heaviest kept, rebuilt in canonical (count-descending, key-ascending)
+// order so the merged table is deterministic regardless of either input's
+// internal layout. It reports whether the capacities matched (mismatched
+// trackers are left untouched).
+func (t *TopK) Merge(o *TopK) bool {
+	if o == nil || o.k != t.k {
+		return false
+	}
+	minT, minO := t.floor(), o.floor()
+	entries := make([]TopEntry, 0, len(t.items)+len(o.items))
+	for k, it := range t.items {
+		e := TopEntry{Key: k, Count: it.count, Err: it.err}
+		if oit, ok := o.items[k]; ok {
+			e.Count += oit.count
+			e.Err += oit.err
+		} else {
+			e.Count += minO
+			e.Err += minO
+		}
+		entries = append(entries, e)
+	}
+	for k, oit := range o.items {
+		if _, ok := t.items[k]; ok {
+			continue
+		}
+		entries = append(entries, TopEntry{Key: k, Count: oit.count + minT, Err: oit.err + minT})
+	}
+	sortTopEntries(entries)
+	if len(entries) > t.k {
+		entries = entries[:t.k]
+	}
+	t.rebuild(entries)
+	return true
+}
+
+// Clone returns a deep copy of the tracker in canonical layout.
+func (t *TopK) Clone() *TopK {
+	c := NewTopK(t.k)
+	c.rebuild(t.Top(0))
+	return c
+}
+
+// floor is the minimum tracked count while the table is full — the
+// largest frequency an untracked key could have — and 0 while slots
+// remain free.
+func (t *TopK) floor() uint64 {
+	if len(t.heap) < t.k {
+		return 0
+	}
+	return t.heap[0].count
+}
+
+// rebuild replaces the table with the given entries, restoring the item
+// map and min-heap deterministically from their order.
+func (t *TopK) rebuild(entries []TopEntry) {
+	t.items = make(map[string]*tkItem, len(entries))
+	t.heap = t.heap[:0]
+	for _, e := range entries {
+		it := &tkItem{key: e.Key, count: e.Count, err: e.Err, pos: len(t.heap)}
+		t.items[e.Key] = it
+		t.heap = append(t.heap, it)
+		t.siftUp(it.pos)
+	}
+}
+
 func (t *TopK) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

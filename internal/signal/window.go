@@ -94,6 +94,48 @@ func (w *Window) Empty(now time.Time) bool {
 	return true
 }
 
+// Merge folds another ring of identical geometry into this one, slot by
+// slot: slots covering the same absolute bucket add their counts, a slot
+// holding a newer bucket replaces a stale one, and older buckets are
+// discarded — exactly the semantics Add applies when the ring wraps, so a
+// merged ring answers Count as if both event streams had been folded into
+// one ring all along. It reports whether the geometry (bucket width and
+// ring size) matched; mismatched windows are left untouched.
+func (w *Window) Merge(o *Window) bool {
+	if o == nil || o.width != w.width || o.buckets != w.buckets {
+		return false
+	}
+	for i, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		switch {
+		case w.counts[i] == 0:
+			w.nums[i] = o.nums[i]
+			w.counts[i] = c
+		case o.nums[i] == w.nums[i]:
+			w.counts[i] += c
+		case o.nums[i] > w.nums[i]:
+			w.nums[i] = o.nums[i]
+			w.counts[i] = c
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the ring.
+func (w *Window) Clone() *Window {
+	c := &Window{
+		width:   w.width,
+		buckets: w.buckets,
+		counts:  make([]uint32, len(w.counts)),
+		nums:    make([]int64, len(w.nums)),
+	}
+	copy(c.counts, w.counts)
+	copy(c.nums, w.nums)
+	return c
+}
+
 // Reset clears all buckets.
 func (w *Window) Reset() {
 	for i := range w.counts {

@@ -126,6 +126,74 @@ func TestLimiterEvictsIdleKeys(t *testing.T) {
 	}
 }
 
+func TestWindowMerge(t *testing.T) {
+	a := NewWindow(time.Hour, 4)
+	b := NewWindow(time.Hour, 4)
+	a.Add(t0, 2)
+	b.Add(t0, 3)
+	b.Add(t0.Add(20*time.Minute), 1)
+	if !a.Merge(b) {
+		t.Fatal("merge of identical geometry failed")
+	}
+	if got := a.Count(t0.Add(20 * time.Minute)); got != 6 {
+		t.Fatalf("merged count %d, want 6", got)
+	}
+	if a.Merge(NewWindow(time.Hour, 8)) || a.Merge(NewWindow(time.Minute, 4)) {
+		t.Fatal("merge of mismatched geometry accepted")
+	}
+}
+
+func TestWindowMergeNewerBucketWins(t *testing.T) {
+	// When two rings place different absolute buckets in the same slot,
+	// the newer bucket must replace the stale one — the same recycling
+	// Add applies — so merged counts never resurrect expired events.
+	a := NewWindow(time.Hour, 4)
+	b := NewWindow(time.Hour, 4)
+	a.Add(t0, 5)
+	wrapped := t0.Add(time.Hour) // same slot as t0's bucket, newer
+	b.Add(wrapped, 2)
+	if !a.Merge(b) {
+		t.Fatal("merge failed")
+	}
+	if got := a.Count(wrapped); got != 2 {
+		t.Fatalf("count after merge %d, want 2 (stale bucket must not survive)", got)
+	}
+	// Merging the stale ring back in must not resurrect the old bucket.
+	stale := NewWindow(time.Hour, 4)
+	stale.Add(t0, 7)
+	a.Merge(stale)
+	if got := a.Count(wrapped); got != 2 {
+		t.Fatalf("stale merge resurrected events: count %d, want 2", got)
+	}
+}
+
+func TestWindowMergeMatchesUnionStream(t *testing.T) {
+	// Interleave one event stream across two rings; the merged ring must
+	// answer Count exactly as a single ring fed the whole stream.
+	union := NewWindow(time.Minute, 16)
+	a := NewWindow(time.Minute, 16)
+	b := NewWindow(time.Minute, 16)
+	at := t0
+	for i := range 500 {
+		union.Add(at, 1)
+		if i%3 == 0 {
+			a.Add(at, 1)
+		} else {
+			b.Add(at, 1)
+		}
+		at = at.Add(271 * time.Millisecond)
+	}
+	if !a.Merge(b) {
+		t.Fatal("merge failed")
+	}
+	for probe := 0; probe < 90; probe += 7 {
+		now := at.Add(time.Duration(probe) * time.Second)
+		if got, want := a.Count(now), union.Count(now); got != want {
+			t.Fatalf("probe +%ds: merged count %d, union count %d", probe, got, want)
+		}
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"
