@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke chaos obs-smoke cluster
+.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
@@ -39,9 +39,17 @@ race:
 # bench writes the full benchmark sweep (3 samples per benchmark, with
 # allocation stats) as machine-readable go-test JSON for regression
 # tracking across PRs. Override BENCH_OUT to keep older snapshots.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 bench:
 	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > $(BENCH_OUT)
+
+# benchdiff gates the decision hot path: it compares BENCH_OUT against
+# the committed BENCH_BASELINE.json and fails on >10% ns/op regression
+# or any allocs/op growth in benchmarks matching GateDecide. Run `make
+# bench` first to produce BENCH_OUT.
+BENCH_BASELINE ?= BENCH_BASELINE.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(BENCH_OUT)
 
 # bench-smoke proves every benchmark still compiles and completes without
 # measuring anything (one iteration each).

@@ -1,0 +1,255 @@
+// Command benchdiff compares two benchmark snapshots produced by `make
+// bench` (go-test JSON streams) and gates the hot path: it exits
+// non-zero when any benchmark matching -hot regresses more than
+// -tolerance on ns/op, or at all on allocs/op. Cold benchmarks are
+// reported but never fail the run — wall-time noise outside the decision
+// path is expected on shared CI runners; allocation counts are exact.
+//
+//	benchdiff BENCH_BASELINE.json BENCH_PR7.json
+//	benchdiff -hot 'GateDecide|LimiterAllow' -tolerance 15 old.json new.json
+//
+// Each benchmark's ns/op, B/op and allocs/op are taken as the minimum
+// across the snapshot's samples (-count=3 in the Makefile): the minimum
+// is the least-noisy estimate of the code's cost, since interference
+// only ever adds time.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's best (minimum) sample.
+type benchResult struct {
+	NsOp     float64
+	BOp      float64
+	AllocsOp float64
+	Samples  int
+}
+
+// testEvent is the subset of the go-test JSON stream benchdiff reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// resultLine matches a benchmark result line as `go test -bench` prints
+// it: name, iteration count, ns/op, and with -benchmem B/op and
+// allocs/op. The -N GOMAXPROCS suffix is stripped so snapshots from
+// hosts with different core counts stay comparable.
+var resultLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parseBench reads a go-test JSON stream and returns the minimum sample
+// per benchmark, keyed "package/BenchmarkName". Benchmark name and
+// measurements arrive in separate output events, so the text stream is
+// reassembled per package before line parsing.
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	text := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("benchdiff: unparseable event %q: %w", truncate(line, 80), err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := text[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			text[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: read: %w", err)
+	}
+
+	out := make(map[string]benchResult)
+	for pkg, b := range text {
+		for _, line := range strings.Split(b.String(), "\n") {
+			m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			key := pkg + "/" + m[1]
+			res := benchResult{
+				NsOp:     mustFloat(m[2]),
+				BOp:      optFloat(m[3]),
+				AllocsOp: optFloat(m[4]),
+				Samples:  1,
+			}
+			if prev, ok := out[key]; ok {
+				res.NsOp = min(res.NsOp, prev.NsOp)
+				res.BOp = min(res.BOp, prev.BOp)
+				res.AllocsOp = min(res.AllocsOp, prev.AllocsOp)
+				res.Samples = prev.Samples + 1
+			}
+			out[key] = res
+		}
+	}
+	return out, nil
+}
+
+func mustFloat(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func optFloat(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	return mustFloat(s)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// delta is one benchmark's baseline/current pair.
+type delta struct {
+	Name       string
+	Base, Cur  benchResult
+	Hot        bool
+	Regression string // empty when within budget
+}
+
+// NsPct returns the ns/op change as a percentage of the baseline.
+func (d *delta) NsPct() float64 {
+	if d.Base.NsOp == 0 {
+		return 0
+	}
+	return (d.Cur.NsOp - d.Base.NsOp) / d.Base.NsOp * 100
+}
+
+// diff joins the two snapshots on benchmark key and flags hot-path
+// regressions: ns/op beyond tolerance percent, or any allocs/op growth.
+// A hot benchmark present in the baseline but missing from the current
+// snapshot is itself a failure — a deleted benchmark must not silently
+// retire its gate. New benchmarks (absent from the baseline) pass.
+func diff(base, cur map[string]benchResult, hot *regexp.Regexp, tolerancePct float64) (deltas []delta, missing []string) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		isHot := hot.MatchString(k)
+		c, ok := cur[k]
+		if !ok {
+			if isHot {
+				missing = append(missing, k)
+			}
+			continue
+		}
+		d := delta{Name: k, Base: base[k], Cur: c, Hot: isHot}
+		if isHot {
+			switch {
+			case c.AllocsOp > d.Base.AllocsOp:
+				d.Regression = fmt.Sprintf("allocs/op %v -> %v", d.Base.AllocsOp, c.AllocsOp)
+			case d.NsPct() > tolerancePct:
+				d.Regression = fmt.Sprintf("ns/op +%.1f%% (budget %.0f%%)", d.NsPct(), tolerancePct)
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, missing
+}
+
+// report renders the joined table and returns the process exit code.
+func report(w io.Writer, deltas []delta, missing []string) int {
+	fmt.Fprintf(w, "%-58s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "ns %", "allocs")
+	failed := 0
+	for i := range deltas {
+		d := &deltas[i]
+		mark := " "
+		if d.Hot {
+			mark = "*"
+		}
+		status := ""
+		if d.Regression != "" {
+			status = "  REGRESSION: " + d.Regression
+			failed++
+		}
+		fmt.Fprintf(w, "%s %-56s %14.1f %14.1f %+7.1f%% %4.0f/%4.0f%s\n",
+			mark, d.Name, d.Base.NsOp, d.Cur.NsOp, d.NsPct(),
+			d.Base.AllocsOp, d.Cur.AllocsOp, status)
+	}
+	for _, k := range missing {
+		fmt.Fprintf(w, "* %-56s MISSING from current snapshot\n", k)
+		failed++
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "\nbenchdiff: %d hot-path regression(s); '*' rows are gated\n", failed)
+		return 1
+	}
+	fmt.Fprintf(w, "\nbenchdiff: hot path within budget ('*' rows gated)\n")
+	return 0
+}
+
+// run is main without the process exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hotExpr := fs.String("hot", "GateDecide", "regexp selecting the gated hot-path benchmarks")
+	tolerance := fs.Float64("tolerance", 10, "allowed ns/op regression for hot benchmarks, percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-hot regexp] [-tolerance pct] BASELINE.json CURRENT.json")
+		return 2
+	}
+	hot, err := regexp.Compile(*hotExpr)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff: bad -hot regexp:", err)
+		return 2
+	}
+	load := func(path string) (map[string]benchResult, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: a snapshot contains no benchmark results")
+		return 2
+	}
+	deltas, missing := diff(base, cur, hot, *tolerance)
+	return report(stdout, deltas, missing)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// snapshot assembles a go-test JSON stream the way `go test -json -bench`
+// emits it: the benchmark name and its measurements arrive as separate
+// output events.
+func snapshot(lines ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"funabuse/internal/httpgate"}` + "\n")
+	for _, l := range lines {
+		fmt.Fprintf(&b, `{"Action":"output","Package":"funabuse/internal/httpgate","Output":%q}`+"\n", l)
+	}
+	return b.String()
+}
+
+// resultEvents splits one benchmark sample into the name event and the
+// measurement event.
+func resultEvents(name string, ns float64, bytesOp, allocs int) []string {
+	return []string{
+		name + "    \t",
+		fmt.Sprintf("  100000\t%10.1f ns/op\t%8d B/op\t%8d allocs/op\n", ns, bytesOp, allocs),
+	}
+}
+
+func TestParseBenchTakesMinimumAcrossSamples(t *testing.T) {
+	var lines []string
+	for _, ns := range []float64{300, 250, 280} {
+		lines = append(lines, resultEvents("BenchmarkGateDecideInstrumented", ns, 16, 2)...)
+	}
+	got, err := parseBench(strings.NewReader(snapshot(lines...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "funabuse/internal/httpgate/BenchmarkGateDecideInstrumented"
+	res, ok := got[key]
+	if !ok {
+		t.Fatalf("missing %q in %v", key, got)
+	}
+	if res.NsOp != 250 || res.AllocsOp != 2 || res.BOp != 16 || res.Samples != 3 {
+		t.Fatalf("min sample wrong: %+v", res)
+	}
+}
+
+func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
+	lines := resultEvents("BenchmarkGateDecideBatch64-8", 9000, 0, 0)
+	got, err := parseBench(strings.NewReader(snapshot(lines...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["funabuse/internal/httpgate/BenchmarkGateDecideBatch64"]; !ok {
+		t.Fatalf("suffix not stripped: %v", got)
+	}
+}
+
+// write drops a snapshot in the test's temp dir and returns its path.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPassesWithinBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", snapshot(resultEvents("BenchmarkGateDecideInstrumented", 300, 0, 0)...))
+	// 5% slower with identical allocs: inside the 10% budget.
+	cur := write(t, dir, "cur.json", snapshot(resultEvents("BenchmarkGateDecideInstrumented", 315, 0, 0)...))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "within budget") {
+		t.Fatalf("missing pass banner:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", snapshot(resultEvents("BenchmarkGateDecideInstrumented", 300, 0, 0)...))
+	cur := write(t, dir, "cur.json", snapshot(resultEvents("BenchmarkGateDecideInstrumented", 360, 0, 0)...))
+	var out bytes.Buffer
+	if code := run([]string{base, cur}, &out, &out); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: ns/op") {
+		t.Fatalf("missing ns/op regression marker:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnAnyAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", snapshot(resultEvents("BenchmarkGateDecideInstrumented", 300, 0, 0)...))
+	// Faster but allocating: the alloc gate has no tolerance.
+	cur := write(t, dir, "cur.json", snapshot(resultEvents("BenchmarkGateDecideInstrumented", 200, 16, 1)...))
+	var out bytes.Buffer
+	if code := run([]string{base, cur}, &out, &out); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: allocs/op") {
+		t.Fatalf("missing allocs/op regression marker:\n%s", out.String())
+	}
+}
+
+func TestRunIgnoresColdRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", snapshot(resultEvents("BenchmarkFig1NiPDistribution", 1000, 64, 3)...))
+	// 3x slower and allocating more, but not matched by -hot.
+	cur := write(t, dir, "cur.json", snapshot(resultEvents("BenchmarkFig1NiPDistribution", 3000, 128, 9)...))
+	var out bytes.Buffer
+	if code := run([]string{base, cur}, &out, &out); code != 0 {
+		t.Fatalf("exit %d, want 0: cold benchmarks must not gate\n%s", code, out.String())
+	}
+}
+
+func TestRunFailsWhenHotBenchmarkDisappears(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.json", snapshot(resultEvents("BenchmarkGateDecideBatch64", 9000, 0, 0)...))
+	cur := write(t, dir, "cur.json", snapshot(resultEvents("BenchmarkSomethingElse", 10, 0, 0)...))
+	var out bytes.Buffer
+	if code := run([]string{base, cur}, &out, &out); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("missing disappeared-benchmark marker:\n%s", out.String())
+	}
+}
+
+func TestDiffAgainstRealSnapshotShape(t *testing.T) {
+	// Mirror the exact event split observed in committed snapshots:
+	// padded name event, then a count+measurements event.
+	stream := snapshot(
+		"goos: linux\n",
+		"BenchmarkGateDecideInstrumented\n",
+		"BenchmarkGateDecideInstrumented    \t",
+		" 4404364\t       270.9 ns/op\t       0 B/op\t       0 allocs/op\n",
+	)
+	got, err := parseBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := got["funabuse/internal/httpgate/BenchmarkGateDecideInstrumented"]
+	if res.NsOp != 270.9 || res.AllocsOp != 0 {
+		t.Fatalf("split-event sample misparsed: %+v", res)
+	}
+	deltas, missing := diff(got, got, regexp.MustCompile("GateDecide"), 10)
+	if len(missing) != 0 || len(deltas) != 1 || deltas[0].Regression != "" {
+		t.Fatalf("self-diff not clean: %+v missing %v", deltas, missing)
+	}
+}

@@ -101,6 +101,12 @@ func runClustersim(opts options, stdout, stderr io.Writer) error {
 
 	fmt.Fprint(stdout, clustersimReport(outcomes).String())
 
+	if opts.loadDirect {
+		if err := clustersimDirect(opts, plan, stdout); err != nil {
+			return fmt.Errorf("direct section: %w", err)
+		}
+	}
+
 	if opts.stayUp && opts.serve != "" {
 		waitForInterrupt(stderr)
 	}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"funabuse/internal/cluster"
+	"funabuse/internal/loadgen"
+	"funabuse/internal/metrics"
+	"funabuse/internal/simclock"
+)
+
+// Direct mode (-loaddirect) appends a decision-throughput section to the
+// loadsim and clustersim reports: the same seeded plan replayed in-process
+// against a fresh target, once through per-request Decide and once through
+// DecideBatch at -loadbatch, so the E14/E15 tables show what batch
+// amortization buys with sockets and HTTP parsing out of the frame. The
+// section is off by default because its timing columns are wall-clock —
+// the deterministic report above it stays byte-identical per seed.
+
+// directBuilder constructs a fresh in-process target on the run's clock.
+type directBuilder func(clock simclock.Clock) loadgen.DirectTarget
+
+// directSection replays plan at batch=1 and batch=batch against
+// independently built targets and renders the comparison.
+func directSection(stdout io.Writer, title string, plan *loadgen.Plan, batch int, build directBuilder) error {
+	if batch < 2 {
+		batch = 64
+	}
+	run := func(b int) (*loadgen.DirectResult, error) {
+		clock := simclock.NewManual(plan.Scenario.Start)
+		return loadgen.RunDirect(loadgen.DirectConfig{
+			Plan:    plan,
+			Target:  build(clock),
+			Batch:   b,
+			Virtual: clock,
+		})
+	}
+	seq, err := run(1)
+	if err != nil {
+		return err
+	}
+	bat, err := run(batch)
+	if err != nil {
+		return err
+	}
+
+	t := metrics.NewTable(title, "Metric", "batch=1", fmt.Sprintf("batch=%d", batch))
+	cell := func(label string, f func(*loadgen.DirectResult) string) {
+		t.AddRow(label, f(seq), f(bat))
+	}
+	cell("decisions", func(r *loadgen.DirectResult) string {
+		return metrics.FormatInt(int64(r.Requests))
+	})
+	cell("admitted", func(r *loadgen.DirectResult) string {
+		return metrics.FormatInt(int64(r.Admitted))
+	})
+	cell("denied", func(r *loadgen.DirectResult) string {
+		return metrics.FormatInt(int64(r.Denied))
+	})
+	cell("elapsed", func(r *loadgen.DirectResult) string {
+		return r.Elapsed.Round(time.Microsecond).String()
+	})
+	cell("throughput (dec/s)", func(r *loadgen.DirectResult) string {
+		return metrics.FormatInt(int64(r.Throughput()))
+	})
+	speedup := "n/a"
+	if seq.Throughput() > 0 {
+		speedup = fmt.Sprintf("%.2fx", bat.Throughput()/seq.Throughput())
+	}
+	t.AddRow("batch speedup", "1.00x", speedup)
+	fmt.Fprint(stdout, t.String())
+	return nil
+}
+
+// loadsimDirect measures the single-gate decision path on the loadsim
+// plan, configured like the blocklist+path-limit arm (rule-deploying
+// defender included) — the full instrumented pipeline, minus the socket.
+func loadsimDirect(opts options, plan *loadgen.Plan, stdout io.Writer) error {
+	build := func(clock simclock.Clock) loadgen.DirectTarget {
+		gate, _, _ := loadgen.NewTargetGate(loadgen.TargetConfig{
+			Clock:          clock,
+			RuleThreshold:  40,
+			RuleWindow:     30 * time.Second,
+			RulePaths:      []string{loadsimPathHold, loadsimPathSMS},
+			PathLimit:      300,
+			PathWindow:     time.Minute,
+			ResourceLimit:  6,
+			ResourceWindow: time.Hour,
+		})
+		return gate
+	}
+	return directSection(stdout, "loadsim direct decision throughput", plan, opts.loadBatch, build)
+}
+
+// clustersimDirect measures the routed-fleet decision path on the
+// low-and-slow plan against the merged n=4 g=2s arm: the batch scatters
+// across four nodes per router verdict and gathers per-node DecideBatch
+// results, so the speedup column reflects the fleet front, not one gate.
+func clustersimDirect(opts options, plan *loadgen.Plan, stdout io.Writer) error {
+	build := func(clock simclock.Clock) loadgen.DirectTarget {
+		return cluster.New(cluster.Config{
+			Nodes:          4,
+			Clock:          clock,
+			Gossip:         2 * time.Second,
+			ReplicateRules: true,
+			ReplicateState: true,
+			RuleThreshold:  clustersimRuleThreshold,
+			RuleWindow:     clustersimRuleWindow,
+			RulePaths:      []string{loadgen.PathHold, loadgen.PathSMS},
+			Router:         cluster.NewRandomRouter(opts.seed),
+		})
+	}
+	return directSection(stdout, "clustersim direct decision throughput", plan, opts.loadBatch, build)
+}

@@ -140,6 +140,12 @@ func runLoadsim(opts options, stdout, stderr io.Writer) error {
 
 	fmt.Fprint(stdout, loadsimReport(outcomes, opts.loadReal).String())
 
+	if opts.loadDirect {
+		if err := loadsimDirect(opts, plan, stdout); err != nil {
+			return fmt.Errorf("direct section: %w", err)
+		}
+	}
+
 	if opts.stayUp && opts.serve != "" {
 		waitForInterrupt(stderr)
 	}

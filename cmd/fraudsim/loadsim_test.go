@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"funabuse/internal/loadgen"
+	"funabuse/internal/metrics"
 	"funabuse/internal/obs"
 )
 
@@ -33,6 +35,29 @@ func TestLoadsimDeterministic(t *testing.T) {
 	}
 	if strings.Contains(first, "mean intended-start latency") {
 		t.Fatal("virtual run reported the wall-only latency row")
+	}
+}
+
+// TestLoadsimDirectSection renders the -loaddirect throughput comparison
+// on the loadsim plan and checks both batch columns replayed the full
+// plan. Timing cells are wall-clock, so only structure is asserted.
+func TestLoadsimDirectSection(t *testing.T) {
+	plan, err := loadgen.BuildPlan(loadsimScenario(7, loadsimEpoch))
+	if err != nil {
+		t.Fatalf("build plan: %v", err)
+	}
+	var out bytes.Buffer
+	if err := loadsimDirect(options{seed: 7, loadBatch: 16}, plan, &out); err != nil {
+		t.Fatalf("loadsimDirect: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"loadsim direct decision throughput", "batch=1", "batch=16",
+		metrics.FormatInt(int64(len(plan.Arrivals))), "batch speedup",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("direct section missing %q:\n%s", want, report)
+		}
 	}
 }
 

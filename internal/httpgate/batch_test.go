@@ -1,0 +1,219 @@
+package httpgate
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
+	"funabuse/internal/simclock"
+)
+
+// batchFixture builds one fully loaded gate — blocklist, challenge hook,
+// profile/resource/path limiters, decision journal, resilience guards and
+// telemetry — plus the handles the equivalence test compares.
+type batchFixture struct {
+	g       *Gate
+	clock   *simclock.Manual
+	reg     *obs.Registry
+	ring    *obs.TraceRing
+	journal []string
+}
+
+func newBatchFixture(t *testing.T) *batchFixture {
+	t.Helper()
+	f := &batchFixture{
+		clock: simclock.NewManual(t0),
+		reg:   obs.NewRegistry(),
+		ring:  obs.NewTraceRing(4096),
+	}
+	blocks := mitigate.NewBlockList(0)
+	blocks.Block("ip:10.0.0.5", t0)
+	blocks.Block("ck:user-8", t0)
+	f.g = New(Config{
+		Clock:  f.clock,
+		Blocks: blocks,
+		Challenge: func(r *http.Request, info ClientInfo) bool {
+			return r.Header.Get("X-Challenge") != "deny"
+		},
+		ProfileLimit:       3,
+		ProfileWindow:      time.Minute,
+		PathLimit:          40,
+		PathWindow:         time.Minute,
+		ResourceKey:        func(r *http.Request) string { return r.URL.Query().Get("pnr") },
+		ResourceLimit:      20,
+		ResourceWindow:     time.Minute,
+		RequireFingerprint: true,
+		OnDecisionFunc: func(r *http.Request, info ClientInfo, deniedBy string) error {
+			f.journal = append(f.journal, info.ClientKey+"|"+r.URL.Path+"|"+deniedBy)
+			return nil
+		},
+	}, WithResilience(ResilienceConfig{}),
+		WithTelemetry(f.reg),
+		WithTraces(f.ring))
+	return f
+}
+
+// batchStreamRequest derives the i-th request of the deterministic mixed
+// stream: rotating paths, client keys (some empty), IPs (one blocked),
+// fingerprints (sometimes missing, triggering RequireFingerprint),
+// challenge denials and resource keys, so every layer produces both
+// verdicts somewhere in the stream.
+func batchStreamRequest(i int) Request {
+	r := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/p/%d?pnr=PNR%d", i%5, i%4), nil)
+	r.RemoteAddr = fmt.Sprintf("10.0.0.%d:4711", i%6)
+	if i%17 == 0 {
+		r.Header.Set("X-Challenge", "deny")
+	}
+	info := ClientInfo{IP: fmt.Sprintf("10.0.0.%d", i%6)}
+	if i%13 != 0 {
+		info.Fingerprint = uint64(i % 7)
+		info.HasFingerprint = true
+	}
+	if i%11 != 0 {
+		info.ClientKey = "user-" + strconv.Itoa(i%9)
+	}
+	return Request{R: r, Info: info}
+}
+
+// TestDecideBatchMatchesSequential is the batch API's golden equivalence
+// test: the same deterministic request stream — exercising every layer's
+// admit and deny paths, with resilience guards and full telemetry on —
+// through per-request Decide on one gate and through DecideBatch (batch
+// sizes 1, 7, 64) on a twin, with the clocks advanced in lockstep at
+// chunk boundaries. Verdicts must match request for request, and the
+// gates' counters, limiter denial totals, per-reason telemetry, trace
+// journals and decision journals must agree.
+func TestDecideBatchMatchesSequential(t *testing.T) {
+	for _, batch := range []int{1, 7, 64} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			seq := newBatchFixture(t)
+			bat := newBatchFixture(t)
+			const total = 256
+			out := make([]Decision, 0, batch)
+			for start := 0; start < total; start += batch {
+				end := min(start+batch, total)
+				reqs := make([]Request, 0, batch)
+				for i := start; i < end; i++ {
+					reqs = append(reqs, batchStreamRequest(i))
+				}
+				want := make([]Decision, len(reqs))
+				for j, rq := range reqs {
+					want[j] = seq.g.Decide(rq.R, rq.Info)
+				}
+				out = bat.g.DecideBatch(reqs, out)
+				for j := range reqs {
+					if out[j] != want[j] {
+						t.Fatalf("request %d: batch %+v, sequential %+v", start+j, out[j], want[j])
+					}
+				}
+				seq.clock.Advance(time.Second)
+				bat.clock.Advance(time.Second)
+			}
+
+			if a, b := seq.g.admitted.Load(), bat.g.admitted.Load(); a != b {
+				t.Fatalf("admitted diverge: sequential %d, batch %d", a, b)
+			}
+			if a, b := seq.g.denied.Load(), bat.g.denied.Load(); a != b {
+				t.Fatalf("denied diverge: sequential %d, batch %d", a, b)
+			}
+			if a, b := seq.g.degraded.Load(), bat.g.degraded.Load(); a != b {
+				t.Fatalf("degraded diverge: sequential %d, batch %d", a, b)
+			}
+			for _, lim := range []struct {
+				name     string
+				seq, bat uint64
+			}{
+				{"profile", seq.g.profile.Denials(), bat.g.profile.Denials()},
+				{"resource", seq.g.resource.Denials(), bat.g.resource.Denials()},
+				{"path", seq.g.path.Denials(), bat.g.path.Denials()},
+			} {
+				if lim.seq != lim.bat {
+					t.Fatalf("%s limiter denials diverge: sequential %d, batch %d", lim.name, lim.seq, lim.bat)
+				}
+			}
+
+			// Per-reason denial counters and the latency sample count.
+			sg, bg := seq.reg.Gather(), bat.reg.Gather()
+			for _, reason := range allReasons {
+				lbl := obs.Label{Name: "reason", Value: reason}
+				if a, b := findSample(t, sg, MetricDenials, lbl), findSample(t, bg, MetricDenials, lbl); a != b {
+					t.Fatalf("denials[%s] diverge: sequential %v, batch %v", reason, a, b)
+				}
+			}
+			if a, b := findSample(t, sg, MetricLatency+"_count"), findSample(t, bg, MetricLatency+"_count"); a != b {
+				t.Fatalf("latency counts diverge: sequential %v, batch %v", a, b)
+			}
+
+			// Decision journals: same entries in the same order.
+			if len(seq.journal) != len(bat.journal) {
+				t.Fatalf("journal lengths diverge: sequential %d, batch %d", len(seq.journal), len(bat.journal))
+			}
+			for i := range seq.journal {
+				if seq.journal[i] != bat.journal[i] {
+					t.Fatalf("journal[%d] diverges: sequential %q, batch %q", i, seq.journal[i], bat.journal[i])
+				}
+			}
+			// Trace journals: same verdict sequence.
+			ss, bs := seq.ring.Snapshot(), bat.ring.Snapshot()
+			if len(ss) != len(bs) {
+				t.Fatalf("trace lengths diverge: %d vs %d", len(ss), len(bs))
+			}
+			for i := range ss {
+				if ss[i].Verdict != bs[i].Verdict || ss[i].Path != bs[i].Path {
+					t.Fatalf("span %d diverges: sequential %s@%s, batch %s@%s",
+						i, ss[i].Verdict, ss[i].Path, bs[i].Verdict, bs[i].Path)
+				}
+			}
+		})
+	}
+}
+
+// TestDecideBatchDegradedMatchesSequential repeats the equivalence check
+// with a custom profile check whose breaker has been driven open: the
+// batch path's one-snapshot-per-round degrade handling must produce the
+// same per-request masks and verdicts as sequential decide.
+func TestDecideBatchDegradedMatchesSequential(t *testing.T) {
+	build := func() (*Gate, *simclock.Manual) {
+		clock := simclock.NewManual(t0)
+		g := New(Config{
+			Clock: clock,
+			ProfileCheck: func(key string, now time.Time) (bool, error) {
+				return false, fmt.Errorf("profile store down")
+			},
+			PathLimit:  1 << 30,
+			PathWindow: time.Hour,
+		}, WithResilience(ResilienceConfig{}))
+		return g, clock
+	}
+	seqG, seqC := build()
+	batG, batC := build()
+	const total = 96
+	out := make([]Decision, 0, 8)
+	for start := 0; start < total; start += 8 {
+		reqs := make([]Request, 8)
+		for j := range reqs {
+			reqs[j] = batchStreamRequest(start + j)
+		}
+		want := make([]Decision, len(reqs))
+		for j, rq := range reqs {
+			want[j] = seqG.Decide(rq.R, rq.Info)
+		}
+		out = batG.DecideBatch(reqs, out)
+		for j := range reqs {
+			if out[j] != want[j] {
+				t.Fatalf("request %d: batch %+v, sequential %+v", start+j, out[j], want[j])
+			}
+		}
+		seqC.Advance(time.Second)
+		batC.Advance(time.Second)
+	}
+	if seqG.Breaker(LayerProfile).State() != batG.Breaker(LayerProfile).State() {
+		t.Fatalf("breaker states diverge: sequential %v, batch %v",
+			seqG.Breaker(LayerProfile).State(), batG.Breaker(LayerProfile).State())
+	}
+}

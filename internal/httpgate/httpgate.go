@@ -18,6 +18,17 @@
 // are returned as 403/429 with machine-readable reason headers so that
 // downstream analytics — and honest clients — can tell the layers apart.
 //
+// # Hot path
+//
+// The admitted path is allocation-free: each decision borrows a pooled
+// scratch context (attribution, key-assembly buffer, the decision's
+// shared clock reading), the layer order with its call adapters, fail
+// policies and denial reasons is resolved once at construction into a
+// step table, and built-in layers are probed with byte keys assembled in
+// scratch space. Callers holding many requests use DecideBatch, which
+// additionally shares one clock read and one breaker-state snapshot per
+// round and probes the built-in limiters in bulk.
+//
 // # Resilience
 //
 // Each fallible layer runs behind its own circuit breaker with an
@@ -40,6 +51,7 @@ import (
 	"net/netip"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -135,6 +147,32 @@ type ClientInfo struct {
 	// HasFingerprint reports whether the collector header was present.
 	HasFingerprint bool
 	ClientKey      string
+}
+
+// Decision is the outcome of one gate evaluation.
+type Decision struct {
+	// Reason is the denying layer's ReasonHeader value; empty on admit.
+	Reason string
+	// Status is the denial's HTTP status; zero on admit.
+	Status int
+	// Degraded is the degraded-layer bitmask (bit 1<<Layer for each layer
+	// that was unavailable while deciding); DegradedLayers renders it.
+	Degraded uint8
+}
+
+// Denied reports whether the request was denied.
+func (d Decision) Denied() bool { return d.Reason != "" }
+
+// DegradedLayers renders the degraded bitmask as the DegradedHeader
+// value; empty for a healthy decision.
+func (d Decision) DegradedLayers() string { return degradedNames[d.Degraded] }
+
+// Request is one decision input for DecideBatch: the HTTP request (seen
+// by the challenge, resource-key and decision hooks) and the client
+// attribution, extracted by the caller — typically via Gate.Client.
+type Request struct {
+	R    *http.Request
+	Info ClientInfo
 }
 
 // CheckFunc is a fallible keyed layer check: a blocklist lookup (true
@@ -244,6 +282,83 @@ type layerGuard struct {
 	degraded atomic.Uint64
 }
 
+// stepKind selects a layer step's call adapter and its batch strategy.
+type stepKind uint8
+
+const (
+	stepBlocklist stepKind = iota
+	stepChallenge
+	stepProfile
+	stepResource
+	stepPath
+)
+
+// layerStep is one enabled pipeline stage, fully resolved at New time:
+// evaluation order is the table order, the call adapter is a static
+// function value, and the denial reason and status are bound here so the
+// hot path never rebuilds or re-derives them per request.
+type layerStep struct {
+	kind  stepKind
+	layer Layer
+	// passVal is the verdict that lets the request continue — false for
+	// the blocklist ("not blocked"), true for challenge and the limiters
+	// ("allowed"). It doubles as the FailOpen resolution of an
+	// unavailable layer.
+	passVal bool
+	// builtin marks an infallible in-process layer (the shared BlockList
+	// or a built-in sharded limiter). DecideBatch snapshots a built-in
+	// layer's breaker once per round and probes the limiters in bulk;
+	// custom checks — the remote-lookup and fault-injection seam — keep
+	// per-request breaker semantics.
+	builtin bool
+	call    func(*Gate, *decisionCtx) (bool, error)
+	reason  string
+	status  int
+}
+
+// decisionCtx is the pooled per-decision scratch: the request under
+// evaluation, its attribution, the decision's shared clock reading and a
+// key-assembly buffer. Pooling it keeps the admitted hot path free of
+// heap allocations. A context never outlives the decision that borrowed
+// it: every layer call runs under panic isolation (safeCall), so no
+// panic can carry a pooled context out of decide before it is released.
+type decisionCtx struct {
+	r    *http.Request
+	info ClientInfo
+	now  time.Time
+	buf  []byte
+}
+
+// ctxBufCap is the key scratch's initial capacity; buffers grown past
+// ctxBufMax by pathological inputs are dropped on release rather than
+// pinned in the pool.
+const (
+	ctxBufCap = 128
+	ctxBufMax = 4096
+)
+
+var ctxPool = sync.Pool{
+	New: func() any { return &decisionCtx{buf: make([]byte, 0, ctxBufCap)} },
+}
+
+func acquireCtx(r *http.Request, info ClientInfo, now time.Time) *decisionCtx {
+	ctx := ctxPool.Get().(*decisionCtx)
+	ctx.r, ctx.info, ctx.now = r, info, now
+	return ctx
+}
+
+// releaseCtx returns ctx to the pool, dropping request references so the
+// pool never pins request memory between decisions.
+func releaseCtx(ctx *decisionCtx) {
+	ctx.r = nil
+	ctx.info = ClientInfo{}
+	if cap(ctx.buf) > ctxBufMax {
+		ctx.buf = make([]byte, 0, ctxBufCap)
+	}
+	ctx.buf = ctx.buf[:0]
+	ctxPool.Put(ctx)
+}
+
 // Gate is an http.Handler middleware enforcing the defence pipeline. It is
 // safe for concurrent use without a global lock: each rate-limiting layer
 // is a lock-striped signal.Limiter, the block list synchronises itself,
@@ -252,19 +367,29 @@ type layerGuard struct {
 // lock and must be concurrency-safe; panics in them are recovered and
 // resolved by the layer's fail policy.
 type Gate struct {
-	cfg      Config
-	clock    simclock.Clock
+	cfg   Config
+	clock simclock.Clock
+
+	// Built-in layer state; nil when the layer is disabled or replaced by
+	// a custom CheckFunc. The built-ins are the byte-keyed fast path.
+	blocks   *mitigate.BlockList
 	path     *signal.Limiter
 	profile  *signal.Limiter
 	resource *signal.Limiter
 
-	// Resolved fallible layer calls; nil means the layer is disabled.
+	// Custom fallible layer calls; nil means the built-in (or nothing)
+	// serves the layer.
 	blockCheck    CheckFunc
 	challenge     func(r *http.Request, info ClientInfo) (bool, error)
 	pathCheck     CheckFunc
 	profileCheck  CheckFunc
 	resourceCheck CheckFunc
 	onDecision    func(r *http.Request, info ClientInfo, deniedBy string) error
+
+	// steps is the pre-resolved pipeline: only enabled layers appear, in
+	// evaluation order, with their call adapters and denial verdicts
+	// bound at construction.
+	steps []layerStep
 
 	guards [numLayers]layerGuard
 
@@ -292,10 +417,7 @@ func New(cfg Config, opts ...Option) *Gate {
 
 	g.blockCheck = cfg.BlocklistFunc
 	if g.blockCheck == nil && cfg.Blocks != nil {
-		blocks := cfg.Blocks
-		g.blockCheck = func(key string, now time.Time) (bool, error) {
-			return blocks.Blocked(key, now), nil
-		}
+		g.blocks = cfg.Blocks
 	}
 	g.challenge = cfg.ChallengeFunc
 	if g.challenge == nil && cfg.Challenge != nil {
@@ -319,7 +441,6 @@ func New(cfg Config, opts ...Option) *Gate {
 			Window: cfg.PathWindow, Limit: cfg.PathLimit,
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
-		g.pathCheck = limiterCheck(g.path)
 	}
 	g.profileCheck = cfg.ProfileCheck
 	if g.profileCheck == nil && cfg.ProfileLimit > 0 {
@@ -327,7 +448,6 @@ func New(cfg Config, opts ...Option) *Gate {
 			Window: cfg.ProfileWindow, Limit: cfg.ProfileLimit,
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
-		g.profileCheck = limiterCheck(g.profile)
 	}
 	g.resourceCheck = cfg.ResourceCheck
 	if g.resourceCheck == nil && cfg.ResourceLimit > 0 {
@@ -335,8 +455,9 @@ func New(cfg Config, opts ...Option) *Gate {
 			Window: cfg.ResourceWindow, Limit: cfg.ResourceLimit,
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
-		g.resourceCheck = limiterCheck(g.resource)
 	}
+
+	g.buildSteps()
 
 	if rc := cfg.Resilience; rc != nil {
 		policies := [numLayers]resilience.Policy{
@@ -347,29 +468,59 @@ func New(cfg Config, opts ...Option) *Gate {
 			LayerPath:      rc.Path,
 			LayerDecision:  rc.Decision,
 		}
-		enabled := [numLayers]bool{
-			LayerBlocklist: g.blockCheck != nil,
-			LayerChallenge: g.challenge != nil,
-			LayerProfile:   g.profileCheck != nil,
-			LayerResource:  g.resourceCheck != nil && cfg.ResourceKey != nil,
-			LayerPath:      g.pathCheck != nil,
-			LayerDecision:  g.onDecision != nil,
-		}
 		for l := LayerBlocklist; l < numLayers; l++ {
 			g.guards[l].policy = policies[l]
-			if enabled[l] {
-				g.guards[l].breaker = resilience.NewBreaker(rc.Breaker)
-			}
+		}
+		for i := range g.steps {
+			g.guards[g.steps[i].layer].breaker = resilience.NewBreaker(rc.Breaker)
+		}
+		if g.onDecision != nil {
+			g.guards[LayerDecision].breaker = resilience.NewBreaker(rc.Breaker)
 		}
 	}
 	g.initTelemetry(cfg.telemetry, cfg.traces)
 	return g
 }
 
-// limiterCheck adapts a sharded limiter to the fallible layer shape.
-func limiterCheck(l *signal.Limiter) CheckFunc {
-	return func(key string, now time.Time) (bool, error) {
-		return l.Allow(key, now), nil
+// buildSteps resolves the decision table: one entry per enabled layer in
+// evaluation order, each carrying its static call adapter, continue
+// verdict and denial reason/status.
+func (g *Gate) buildSteps() {
+	if g.blocks != nil || g.blockCheck != nil {
+		g.steps = append(g.steps, layerStep{
+			kind: stepBlocklist, layer: LayerBlocklist, passVal: false,
+			builtin: g.blocks != nil, call: callBlocklist,
+			reason: ReasonBlocklist, status: http.StatusForbidden,
+		})
+	}
+	if g.challenge != nil {
+		g.steps = append(g.steps, layerStep{
+			kind: stepChallenge, layer: LayerChallenge, passVal: true,
+			call: callChallenge, reason: ReasonChallenge, status: http.StatusForbidden,
+		})
+	}
+	if g.profile != nil || g.profileCheck != nil {
+		g.steps = append(g.steps, layerStep{
+			kind: stepProfile, layer: LayerProfile, passVal: true,
+			builtin: g.profile != nil, call: callProfile,
+			reason: ReasonProfile, status: http.StatusTooManyRequests,
+		})
+	}
+	// The resource step stays non-builtin even over the built-in limiter:
+	// its key extractor is an operator hook, so batch rounds keep
+	// per-request guard semantics around it.
+	if (g.resource != nil || g.resourceCheck != nil) && g.cfg.ResourceKey != nil {
+		g.steps = append(g.steps, layerStep{
+			kind: stepResource, layer: LayerResource, passVal: true,
+			call: callResource, reason: ReasonResource, status: http.StatusTooManyRequests,
+		})
+	}
+	if g.path != nil || g.pathCheck != nil {
+		g.steps = append(g.steps, layerStep{
+			kind: stepPath, layer: LayerPath, passVal: true,
+			builtin: g.path != nil, call: callPath,
+			reason: ReasonPathLimit, status: http.StatusTooManyRequests,
+		})
 	}
 }
 
@@ -380,42 +531,63 @@ func (g *Gate) Breaker(l Layer) *resilience.Breaker { return g.guards[l].breaker
 // Wrap returns next guarded by the gate.
 func (g *Gate) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := g.clock.Now()
-		info := g.client(r)
-		reason, status, mask := g.decide(r, info)
-
-		if g.onDecision != nil {
-			if !g.runDecisionHook(r, info, reason) {
-				mask |= 1 << LayerDecision
-				if g.guards[LayerDecision].policy == resilience.FailClosed && reason == "" {
-					reason, status = ReasonDecision, http.StatusServiceUnavailable
-				}
-			}
+		d := g.Decide(r, g.client(r))
+		if d.Degraded != 0 {
+			w.Header().Set(DegradedHeader, degradedNames[d.Degraded])
 		}
-
-		if reason != "" {
-			g.denied.Add(1)
-		} else {
-			g.admitted.Add(1)
-		}
-		g.observeDecision(start, r.URL.Path, reason, mask)
-		if mask != 0 {
-			g.degraded.Add(1)
-			w.Header().Set(DegradedHeader, degradedNames[mask])
-		}
-		if reason != "" {
-			w.Header().Set(ReasonHeader, reason)
-			http.Error(w, http.StatusText(status), status)
+		if d.Reason != "" {
+			w.Header().Set(ReasonHeader, d.Reason)
+			http.Error(w, http.StatusText(d.Status), d.Status)
 			return
 		}
 		next.ServeHTTP(w, r)
 	})
 }
 
+// Decide evaluates the full pipeline for one request — layers, the
+// decision journal, counters and telemetry — and returns the verdict. It
+// is everything Wrap does short of writing the HTTP response, exported so
+// in-process callers (load generators, batch fronts) can drive the gate
+// without a socket. Callers that already hold many requests should prefer
+// DecideBatch, which amortizes the per-request overhead.
+func (g *Gate) Decide(r *http.Request, info ClientInfo) Decision {
+	now := g.clock.Now()
+	reason, status, mask := g.decideAt(r, info, now)
+	return g.finish(r, info, now, reason, status, mask)
+}
+
+// Client extracts the gate's view of the request's origin — the
+// attribution Wrap computes before deciding, exported for Decide and
+// DecideBatch callers.
+func (g *Gate) Client(r *http.Request) ClientInfo { return g.client(r) }
+
+// finish runs the decision journal and the accounting shared by Wrap,
+// Decide and DecideBatch: the journal hook behind its guard, the
+// admit/deny/degraded counters, and the telemetry record.
+func (g *Gate) finish(r *http.Request, info ClientInfo, start time.Time, reason string, status int, mask uint8) Decision {
+	if g.onDecision != nil {
+		if !g.runDecisionHook(r, info, reason, start) {
+			mask |= 1 << LayerDecision
+			if g.guards[LayerDecision].policy == resilience.FailClosed && reason == "" {
+				reason, status = ReasonDecision, http.StatusServiceUnavailable
+			}
+		}
+	}
+	if reason != "" {
+		g.denied.Add(1)
+	} else {
+		g.admitted.Add(1)
+	}
+	g.observeDecision(start, r.URL.Path, reason, mask)
+	if mask != 0 {
+		g.degraded.Add(1)
+	}
+	return Decision{Reason: reason, Status: status, Degraded: mask}
+}
+
 // runDecisionHook journals the decision behind the decision layer's guard,
 // reporting whether the journal write succeeded.
-func (g *Gate) runDecisionHook(r *http.Request, info ClientInfo, reason string) bool {
-	now := g.clock.Now()
+func (g *Gate) runDecisionHook(r *http.Request, info ClientInfo, reason string, now time.Time) bool {
 	gd := &g.guards[LayerDecision]
 	if gd.breaker != nil && !gd.breaker.Allow(now) {
 		gd.degraded.Add(1)
@@ -447,101 +619,54 @@ func (g *Gate) safeDecision(gd *layerGuard, r *http.Request, info ClientInfo, re
 // decide runs the layers in order, returning the denial reason, HTTP
 // status and the degraded-layer bitmask, or ("", 0, mask) to admit.
 func (g *Gate) decide(r *http.Request, info ClientInfo) (string, int, uint8) {
-	now := g.clock.Now()
-	var mask uint8
+	return g.decideAt(r, info, g.clock.Now())
+}
 
-	if g.cfg.RequireFingerprint && !info.HasFingerprint {
+// decideAt is decide with the clock reading hoisted out, so batch callers
+// share one reading across a round.
+func (g *Gate) decideAt(r *http.Request, info ClientInfo, now time.Time) (string, int, uint8) {
+	ctx := acquireCtx(r, info, now)
+	reason, status, mask := g.run(ctx)
+	releaseCtx(ctx)
+	return reason, status, mask
+}
+
+// run evaluates the pre-resolved step table against ctx.
+func (g *Gate) run(ctx *decisionCtx) (string, int, uint8) {
+	var mask uint8
+	if g.cfg.RequireFingerprint && !ctx.info.HasFingerprint {
 		return ReasonChallenge, http.StatusForbidden, mask
 	}
-	if g.blockCheck != nil {
-		blocked, deg := g.runCheck(LayerBlocklist, now, false, func() (bool, error) {
-			return g.blockedAny(info, now)
-		})
-		mask |= deg
-		if blocked {
-			return ReasonBlocklist, http.StatusForbidden, mask
+	for i := range g.steps {
+		st := &g.steps[i]
+		if st.kind == stepProfile && ctx.info.ClientKey == "" {
+			continue
 		}
-	}
-	if g.challenge != nil {
-		passed, deg := g.runCheck(LayerChallenge, now, true, func() (bool, error) {
-			return g.challenge(r, info)
-		})
+		v, deg := g.runCheck(st, ctx)
 		mask |= deg
-		if !passed {
-			return ReasonChallenge, http.StatusForbidden, mask
-		}
-	}
-	if g.profileCheck != nil && info.ClientKey != "" {
-		allowed, deg := g.runCheck(LayerProfile, now, true, func() (bool, error) {
-			return g.profileCheck("pf:"+info.ClientKey, now)
-		})
-		mask |= deg
-		if !allowed {
-			return ReasonProfile, http.StatusTooManyRequests, mask
-		}
-	}
-	if g.resourceCheck != nil && g.cfg.ResourceKey != nil {
-		allowed, deg := g.runCheck(LayerResource, now, true, func() (bool, error) {
-			// Key extraction is an operator hook: it runs inside the guard
-			// so its panics degrade the layer rather than the goroutine.
-			key := g.cfg.ResourceKey(r)
-			if key == "" {
-				return true, nil
-			}
-			return g.resourceCheck("rs:"+key, now)
-		})
-		mask |= deg
-		if !allowed {
-			return ReasonResource, http.StatusTooManyRequests, mask
-		}
-	}
-	if g.pathCheck != nil {
-		allowed, deg := g.runCheck(LayerPath, now, true, func() (bool, error) {
-			return g.pathCheck("path:"+r.URL.Path, now)
-		})
-		mask |= deg
-		if !allowed {
-			return ReasonPathLimit, http.StatusTooManyRequests, mask
+		if v != st.passVal {
+			return st.reason, st.status, mask
 		}
 	}
 	return "", 0, mask
 }
 
-// blockedAny screens the request's identities against the deny list,
-// stopping at the first hit or error.
-func (g *Gate) blockedAny(info ClientInfo, now time.Time) (bool, error) {
-	if info.HasFingerprint {
-		blocked, err := g.blockCheck("fp:"+strconv.FormatUint(info.Fingerprint, 16), now)
-		if blocked || err != nil {
-			return blocked, err
-		}
+// runCheck runs one guarded layer call. An unavailable layer — breaker
+// open, error, or panic — is resolved by its policy: FailOpen yields the
+// step's continue verdict, FailClosed its negation. The returned deg is
+// the layer's degraded-mask bit, 0 on a healthy call.
+func (g *Gate) runCheck(st *layerStep, ctx *decisionCtx) (verdict bool, deg uint8) {
+	gd := &g.guards[st.layer]
+	if gd.breaker != nil && !gd.breaker.Allow(ctx.now) {
+		return gd.degrade(st.layer, st.passVal)
 	}
-	blocked, err := g.blockCheck("ip:"+info.IP, now)
-	if blocked || err != nil {
-		return blocked, err
-	}
-	if info.ClientKey != "" {
-		return g.blockCheck("ck:"+info.ClientKey, now)
-	}
-	return false, nil
-}
-
-// runCheck runs one guarded boolean layer call. failOpen is the verdict an
-// unavailable layer yields under FailOpen (blocklist: "not blocked";
-// challenge/limits: "allowed"); FailClosed yields its negation. The
-// returned deg is the layer's degraded-mask bit, 0 on a healthy call.
-func (g *Gate) runCheck(l Layer, now time.Time, failOpen bool, call func() (bool, error)) (verdict bool, deg uint8) {
-	gd := &g.guards[l]
-	if gd.breaker != nil && !gd.breaker.Allow(now) {
-		return gd.degrade(l, failOpen)
-	}
-	v, err := g.safeCheck(gd, call)
+	v, err := g.safeCall(gd, st, ctx)
 	if gd.breaker != nil {
-		gd.breaker.Record(now, err == nil)
+		gd.breaker.Record(ctx.now, err == nil)
 	}
 	if err != nil {
 		gd.errors.Add(1)
-		return gd.degrade(l, failOpen)
+		return gd.degrade(st.layer, st.passVal)
 	}
 	return v, 0
 }
@@ -556,15 +681,106 @@ func (gd *layerGuard) degrade(l Layer, failOpen bool) (bool, uint8) {
 	return failOpen, bit
 }
 
-// safeCheck invokes a layer call with panic isolation.
-func (g *Gate) safeCheck(gd *layerGuard, call func() (bool, error)) (v bool, err error) {
+// safeCall invokes a layer's call adapter with panic isolation.
+func (g *Gate) safeCall(gd *layerGuard, st *layerStep, ctx *decisionCtx) (v bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			gd.panics.Add(1)
 			v, err = false, &resilience.PanicError{Value: p}
 		}
 	}()
-	return call()
+	return st.call(g, ctx)
+}
+
+// callBlocklist screens the request's identities against the deny list,
+// stopping at the first hit or error. The built-in list is probed with
+// byte keys assembled in the context's scratch buffer; a custom
+// BlocklistFunc receives the same prefixed keys as strings.
+func callBlocklist(g *Gate, ctx *decisionCtx) (bool, error) {
+	info := &ctx.info
+	if g.blocks != nil {
+		if info.HasFingerprint {
+			buf := append(ctx.buf[:0], "fp:"...)
+			buf = strconv.AppendUint(buf, info.Fingerprint, 16)
+			ctx.buf = buf
+			if g.blocks.BlockedBytes(buf, ctx.now) {
+				return true, nil
+			}
+		}
+		buf := append(ctx.buf[:0], "ip:"...)
+		buf = append(buf, info.IP...)
+		ctx.buf = buf
+		if g.blocks.BlockedBytes(buf, ctx.now) {
+			return true, nil
+		}
+		if info.ClientKey != "" {
+			buf = append(ctx.buf[:0], "ck:"...)
+			buf = append(buf, info.ClientKey...)
+			ctx.buf = buf
+			if g.blocks.BlockedBytes(buf, ctx.now) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if info.HasFingerprint {
+		blocked, err := g.blockCheck("fp:"+strconv.FormatUint(info.Fingerprint, 16), ctx.now)
+		if blocked || err != nil {
+			return blocked, err
+		}
+	}
+	blocked, err := g.blockCheck("ip:"+info.IP, ctx.now)
+	if blocked || err != nil {
+		return blocked, err
+	}
+	if info.ClientKey != "" {
+		return g.blockCheck("ck:"+info.ClientKey, ctx.now)
+	}
+	return false, nil
+}
+
+// callChallenge invokes the challenge hook.
+func callChallenge(g *Gate, ctx *decisionCtx) (bool, error) {
+	return g.challenge(ctx.r, ctx.info)
+}
+
+// callProfile probes the per-client-key limiter.
+func callProfile(g *Gate, ctx *decisionCtx) (bool, error) {
+	if g.profile != nil {
+		buf := append(ctx.buf[:0], "pf:"...)
+		buf = append(buf, ctx.info.ClientKey...)
+		ctx.buf = buf
+		return g.profile.AllowBytes(buf, ctx.now), nil
+	}
+	return g.profileCheck("pf:"+ctx.info.ClientKey, ctx.now)
+}
+
+// callResource probes the per-resource limiter. Key extraction is an
+// operator hook: it runs inside the guard so its panics degrade the layer
+// rather than the goroutine.
+func callResource(g *Gate, ctx *decisionCtx) (bool, error) {
+	key := g.cfg.ResourceKey(ctx.r)
+	if key == "" {
+		return true, nil
+	}
+	if g.resource != nil {
+		buf := append(ctx.buf[:0], "rs:"...)
+		buf = append(buf, key...)
+		ctx.buf = buf
+		return g.resource.AllowBytes(buf, ctx.now), nil
+	}
+	return g.resourceCheck("rs:"+key, ctx.now)
+}
+
+// callPath probes the per-path limiter.
+func callPath(g *Gate, ctx *decisionCtx) (bool, error) {
+	if g.path != nil {
+		buf := append(ctx.buf[:0], "path:"...)
+		buf = append(buf, ctx.r.URL.Path...)
+		ctx.buf = buf
+		return g.path.AllowBytes(buf, ctx.now), nil
+	}
+	return g.pathCheck("path:"+ctx.r.URL.Path, ctx.now)
 }
 
 // client extracts attribution from the request.
@@ -579,10 +795,39 @@ func (g *Gate) client(r *http.Request) ClientInfo {
 			info.HasFingerprint = true
 		}
 	}
-	if c, err := r.Cookie(ClientCookie); err == nil && c.Value != "" {
-		info.ClientKey = c.Value
+	if v := cookieValue(r, ClientCookie); v != "" {
+		info.ClientKey = v
 	}
 	return info
+}
+
+// cookieValue scans the Cookie headers for name's value without
+// allocating: net/http's Cookie accessor parses every cookie into fresh
+// structs per call, which was the last allocation on the attribution
+// path. The value is returned as a substring of the header, with
+// surrounding double quotes stripped as net/http does.
+func cookieValue(r *http.Request, name string) string {
+	for _, line := range r.Header["Cookie"] {
+		for len(line) > 0 {
+			part := line
+			if i := strings.IndexByte(line, ';'); i >= 0 {
+				part, line = line[:i], line[i+1:]
+			} else {
+				line = ""
+			}
+			part = strings.TrimSpace(part)
+			eq := strings.IndexByte(part, '=')
+			if eq <= 0 || part[:eq] != name {
+				continue
+			}
+			val := part[eq+1:]
+			if len(val) >= 2 && val[0] == '"' && val[len(val)-1] == '"' {
+				val = val[1 : len(val)-1]
+			}
+			return val
+		}
+	}
+	return ""
 }
 
 // remoteIP resolves the client address, honouring X-Forwarded-For only

@@ -1,0 +1,5 @@
+//go:build !race
+
+package httpgate
+
+const raceEnabled = false

@@ -24,18 +24,43 @@ const (
 )
 
 // gateTelemetry holds the gate's live metric handles, pre-resolved at
-// construction so the serving path touches only atomics.
+// construction so the serving path touches only atomics. The denial
+// counters live in a fixed table indexed by reasonIndex — resolving a
+// reason to its counter is a switch and an array load, with no map hash
+// on the denial path.
 type gateTelemetry struct {
 	latency *obs.Histogram
-	denials map[string]*obs.Counter
+	denials [len(allReasons)]*obs.Counter
 	traces  *obs.TraceRing
 }
 
 // allReasons enumerates every ReasonHeader value the gate can emit, so
 // the per-reason denial counters exist (at zero) from the first scrape.
-var allReasons = []string{
+// Order is the reasonIndex slot order.
+var allReasons = [...]string{
 	ReasonBlocklist, ReasonChallenge, ReasonProfile,
 	ReasonResource, ReasonPathLimit, ReasonDecision,
+}
+
+// reasonIndex maps a denial reason to its slot in allReasons (and in the
+// pre-resolved counter table); -1 for a reason the gate never emits.
+func reasonIndex(reason string) int {
+	switch reason {
+	case ReasonBlocklist:
+		return 0
+	case ReasonChallenge:
+		return 1
+	case ReasonProfile:
+		return 2
+	case ReasonResource:
+		return 3
+	case ReasonPathLimit:
+		return 4
+	case ReasonDecision:
+		return 5
+	default:
+		return -1
+	}
 }
 
 // newGateTelemetry wires the gate onto a registry (and optionally a trace
@@ -51,11 +76,10 @@ func (g *Gate) initTelemetry(reg *obs.Registry, traces *obs.TraceRing) {
 		reg.Help(MetricLatency, "Gate decision latency in seconds.")
 		reg.Help(MetricDenials, "Denied requests by denial reason.")
 		tel.latency = reg.Histogram(MetricLatency, nil, base...)
-		tel.denials = make(map[string]*obs.Counter, len(allReasons))
-		for _, reason := range allReasons {
+		for i, reason := range allReasons {
 			lbls := append(append(make([]obs.Label, 0, len(base)+1), base...),
 				obs.Label{Name: "reason", Value: reason})
-			tel.denials[reason] = reg.Counter(MetricDenials, lbls...)
+			tel.denials[i] = reg.Counter(MetricDenials, lbls...)
 		}
 		reg.Register(g.Collector())
 	}
@@ -78,8 +102,8 @@ func (g *Gate) observeDecision(start time.Time, path, reason string, mask uint8)
 	verdict := obs.VerdictAdmit
 	if reason != "" {
 		verdict = reason
-		if c := tel.denials[reason]; c != nil {
-			c.Inc()
+		if i := reasonIndex(reason); i >= 0 && tel.denials[i] != nil {
+			tel.denials[i].Inc()
 		}
 	}
 	if tel.traces != nil {
@@ -90,6 +114,47 @@ func (g *Gate) observeDecision(start time.Time, path, reason string, mask uint8)
 			Verdict:  verdict,
 			Degraded: degradedNames[mask],
 		})
+	}
+}
+
+// observeBatch is observeDecision for one DecideBatch round: the shared
+// latency (one clock read for the whole round) is folded into the
+// histogram with a single weighted observation, denial counters are
+// aggregated per reason into one atomic add each, and each decision still
+// gets its own trace span. The totals a scrape sees are identical to per
+// request observeDecision calls.
+func (g *Gate) observeBatch(start time.Time, reqs []Request, out []Decision) {
+	tel := g.tel
+	if tel == nil {
+		return
+	}
+	dur := g.clock.Now().Sub(start)
+	if tel.latency != nil {
+		tel.latency.ObserveN(dur.Seconds(), uint64(len(out)))
+	}
+	var denials [len(allReasons)]uint64
+	for i := range out {
+		verdict := obs.VerdictAdmit
+		if reason := out[i].Reason; reason != "" {
+			verdict = reason
+			if j := reasonIndex(reason); j >= 0 {
+				denials[j]++
+			}
+		}
+		if tel.traces != nil {
+			tel.traces.Record(obs.Span{
+				Start:    start,
+				Dur:      dur,
+				Path:     reqs[i].R.URL.Path,
+				Verdict:  verdict,
+				Degraded: degradedNames[out[i].Degraded],
+			})
+		}
+	}
+	for j, n := range denials {
+		if n > 0 && tel.denials[j] != nil {
+			tel.denials[j].Add(n)
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"funabuse/internal/simclock"
+)
+
+// directGate builds the defended target gate on a manual clock with
+// limiter-only defences whose windows exceed the whole plan: verdicts
+// then depend only on per-key counts — not on which instant inside the
+// run a chunk was stamped with — so batch sizes can be compared exactly.
+// The rule-deploying defender stays off: its decision-hook feedback into
+// the blocklist is the one documented point where in-batch requests see
+// different state than a sequential replay.
+func directGate(clock simclock.Clock) DirectTarget {
+	gate, _, _ := NewTargetGate(TargetConfig{
+		Clock:          clock,
+		PathLimit:      600,
+		PathWindow:     time.Hour,
+		ProfileLimit:   120,
+		ProfileWindow:  time.Hour,
+		ResourceLimit:  8,
+		ResourceWindow: time.Hour,
+	})
+	return gate
+}
+
+// TestRunDirectCountsMatchAcrossBatchSizes replays the shared test plan
+// through RunDirect at batch sizes 1, 8 and 64 against identically
+// configured gates and requires the verdict tallies to agree exactly:
+// the batch path must change throughput, never outcomes.
+func TestRunDirectCountsMatchAcrossBatchSizes(t *testing.T) {
+	plan, err := BuildPlan(testScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tally struct {
+		admitted, denied, degraded uint64
+		verdicts                   map[string]uint64
+	}
+	run := func(batch int) tally {
+		clock := simclock.NewManual(t0)
+		res, err := RunDirect(DirectConfig{
+			Plan:    plan,
+			Target:  directGate(clock),
+			Batch:   batch,
+			Virtual: clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Requests != len(plan.Arrivals) {
+			t.Fatalf("batch=%d: %d requests, plan has %d arrivals", batch, res.Requests, len(plan.Arrivals))
+		}
+		if res.Admitted+res.Denied != uint64(res.Requests) {
+			t.Fatalf("batch=%d: admitted %d + denied %d != %d",
+				batch, res.Admitted, res.Denied, res.Requests)
+		}
+		if res.Elapsed <= 0 || res.Throughput() <= 0 {
+			t.Fatalf("batch=%d: empty timing: %+v", batch, res)
+		}
+		return tally{res.Admitted, res.Denied, res.Degraded, res.Verdicts}
+	}
+	base := run(1)
+	if base.denied == 0 {
+		t.Fatal("plan produced no denials; the comparison is vacuous")
+	}
+	for _, batch := range []int{8, 64} {
+		got := run(batch)
+		if got.admitted != base.admitted || got.denied != base.denied || got.degraded != base.degraded {
+			t.Fatalf("batch=%d tallies diverge from batch=1: %+v vs %+v", batch, got, base)
+		}
+		for reason, n := range base.verdicts {
+			if got.verdicts[reason] != n {
+				t.Fatalf("batch=%d verdict %q = %d, batch=1 has %d", batch, reason, got.verdicts[reason], n)
+			}
+		}
+	}
+}

@@ -57,11 +57,14 @@ type Target struct {
 	ln  net.Listener
 }
 
-// StartTarget boots the defended server on an ephemeral 127.0.0.1 port.
-// The gate trusts X-Forwarded-For (the load generator is its own trusted
-// proxy, presenting each simulated client's address) and requires the
+// NewTargetGate builds the defended gate StartTarget serves, without a
+// listener: the same blocklist, limits, rule-deploying defender and
+// telemetry wiring, exposed so direct (in-process) load runs measure the
+// identical decision pipeline the socket runs exercise. The gate trusts
+// X-Forwarded-For (the load generator is its own trusted proxy,
+// presenting each simulated client's address) and requires the
 // fingerprint header, as a collector-backed deployment would.
-func StartTarget(cfg TargetConfig) (*Target, error) {
+func NewTargetGate(cfg TargetConfig) (*httpgate.Gate, *mitigate.BlockList, *RuleDeployer) {
 	blocks := mitigate.NewBlockList(0)
 	gcfg := httpgate.Config{
 		Clock:              cfg.Clock,
@@ -98,7 +101,12 @@ func StartTarget(cfg TargetConfig) (*Target, error) {
 	if cfg.Traces != nil {
 		opts = append(opts, httpgate.WithTraces(cfg.Traces))
 	}
-	gate := httpgate.New(gcfg, opts...)
+	return httpgate.New(gcfg, opts...), blocks, deployer
+}
+
+// StartTarget boots the defended server on an ephemeral 127.0.0.1 port.
+func StartTarget(cfg TargetConfig) (*Target, error) {
+	gate, blocks, deployer := NewTargetGate(cfg)
 
 	backend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

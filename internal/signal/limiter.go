@@ -113,6 +113,97 @@ func (l *Limiter) Allow(key string, now time.Time) bool {
 	return allowed
 }
 
+// AllowBytes is Allow for a key assembled in a reusable byte buffer: the
+// lookup hashes and probes the shard map without materialising a string,
+// so per-request callers can build prefixed keys ("pf:<sid>") into scratch
+// space. A string is allocated only when the key is first inserted — the
+// point the map must retain it — so steady-state traffic over a recurring
+// key set allocates nothing.
+func (l *Limiter) AllowBytes(key []byte, now time.Time) bool {
+	s := &l.shards[hash64Bytes(key)&l.mask]
+	s.mu.Lock()
+	allowed := l.allowBytesLocked(s, key, now)
+	s.mu.Unlock()
+	if !allowed {
+		l.denials.Add(1)
+	}
+	return allowed
+}
+
+// AllowBatch records one attempt per key at the shared instant now,
+// writing each verdict into out (which must hold at least len(keys)
+// entries). The batch is processed shard by shard so each stripe lock is
+// taken at most once per call and every key is hashed exactly once; keys
+// of one shard keep their index order, so per-key verdicts — and the
+// denial total — are identical to calling AllowBytes for each key in
+// index order. The hash scratch is pooled: steady state allocates nothing.
+func (l *Limiter) AllowBatch(now time.Time, keys [][]byte, out []bool) {
+	if len(keys) == 0 {
+		return
+	}
+	hp := hashScratch.Get().(*[]uint64)
+	hashes := *hp
+	if cap(hashes) < len(keys) {
+		hashes = make([]uint64, len(keys))
+	}
+	hashes = hashes[:len(keys)]
+	for i, k := range keys {
+		hashes[i] = hash64Bytes(k)
+	}
+	denied := uint64(0)
+	for si := range l.shards {
+		s := &l.shards[si]
+		locked := false
+		for i, h := range hashes {
+			if h&l.mask != uint64(si) {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			allowed := l.allowBytesLocked(s, keys[i], now)
+			out[i] = allowed
+			if !allowed {
+				denied++
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	if denied > 0 {
+		l.denials.Add(denied)
+	}
+	*hp = hashes
+	hashScratch.Put(hp)
+}
+
+// hashScratch pools AllowBatch's per-call hash buffers.
+var hashScratch = sync.Pool{New: func() any { return new([]uint64) }}
+
+// allowBytesLocked runs one attempt against a shard for a scratch-built
+// key, mirroring Allow's body byte-for-byte (sweep cadence included) so
+// the two entry points stay behaviourally identical. Callers hold the
+// shard lock.
+func (l *Limiter) allowBytesLocked(s *limiterShard, key []byte, now time.Time) bool {
+	s.ops++
+	if s.ops >= sweepEvery {
+		s.ops = 0
+		sweepShard(s.keys, now)
+	}
+	w, ok := s.keys[string(key)]
+	if !ok {
+		w = NewWindow(l.window, l.buckets)
+		s.keys[string(key)] = w
+	}
+	allowed := w.Count(now) < l.limit
+	if allowed {
+		w.Add(now, 1)
+	}
+	return allowed
+}
+
 // Count returns key's in-window event count as of now.
 func (l *Limiter) Count(key string, now time.Time) int {
 	s := &l.shards[hash64(key)&l.mask]

@@ -1,0 +1,104 @@
+package signal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAllowBytesMatchesAllow drives the same key sequence through the
+// string and byte entry points on twin limiters and requires identical
+// verdicts, denial totals and tracked-key counts — the contract that lets
+// the gate's hot path build keys in scratch space.
+func TestAllowBytesMatchesAllow(t *testing.T) {
+	a := NewLimiter(LimiterConfig{Window: time.Minute, Limit: 3, Shards: 4})
+	b := NewLimiter(LimiterConfig{Window: time.Minute, Limit: 3, Shards: 4})
+	buf := make([]byte, 0, 32)
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("pf:user-%d", i%17)
+		now := t0.Add(time.Duration(i) * time.Second)
+		want := a.Allow(key, now)
+		buf = append(buf[:0], key...)
+		if got := b.AllowBytes(buf, now); got != want {
+			t.Fatalf("op %d key %q: AllowBytes = %v, Allow = %v", i, key, got, want)
+		}
+	}
+	if a.Denials() != b.Denials() {
+		t.Fatalf("denials diverge: %d vs %d", a.Denials(), b.Denials())
+	}
+	if a.TrackedKeys() != b.TrackedKeys() {
+		t.Fatalf("tracked keys diverge: %d vs %d", a.TrackedKeys(), b.TrackedKeys())
+	}
+}
+
+// TestAllowBatchMatchesSequential replays the same key stream through
+// AllowBatch (several batch sizes) and through per-key AllowBytes calls in
+// index order, and requires bit-identical verdicts — the equivalence
+// httpgate.DecideBatch builds on.
+func TestAllowBatchMatchesSequential(t *testing.T) {
+	for _, batch := range []int{1, 7, 64} {
+		seq := NewLimiter(LimiterConfig{Window: time.Minute, Limit: 4, Shards: 8})
+		bat := NewLimiter(LimiterConfig{Window: time.Minute, Limit: 4, Shards: 8})
+		const total = 512
+		keys := make([][]byte, total)
+		for i := range keys {
+			// A mix of hot keys (repeat within and across batches) and
+			// one-shot keys, spread across shards.
+			keys[i] = []byte(fmt.Sprintf("path:/p/%d", i%13))
+			if i%5 == 0 {
+				keys[i] = []byte(fmt.Sprintf("pf:cold-%d", i))
+			}
+		}
+		want := make([]bool, total)
+		got := make([]bool, total)
+		for start := 0; start < total; start += batch {
+			end := min(start+batch, total)
+			now := t0.Add(time.Duration(start) * time.Second)
+			for i := start; i < end; i++ {
+				want[i] = seq.AllowBytes(keys[i], now)
+			}
+			bat.AllowBatch(now, keys[start:end], got[start:end])
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d op %d key %q: batch = %v, sequential = %v",
+					batch, i, keys[i], got[i], want[i])
+			}
+		}
+		if seq.Denials() != bat.Denials() {
+			t.Fatalf("batch=%d denials diverge: %d vs %d", batch, seq.Denials(), bat.Denials())
+		}
+	}
+}
+
+// TestAllowBytesSteadyStateAllocs pins the zero-alloc contract: once a
+// key's window exists, AllowBytes and AllowBatch allocate nothing.
+func TestAllowBytesSteadyStateAllocs(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Window: time.Hour, Limit: 1 << 30})
+	key := []byte("pf:warm")
+	l.AllowBytes(key, t0) // insert outside the measured region
+	if avg := testing.AllocsPerRun(256, func() {
+		l.AllowBytes(key, t0)
+	}); avg != 0 {
+		t.Fatalf("AllowBytes allocates %v/op on a warm key", avg)
+	}
+
+	keys := [][]byte{[]byte("pf:w0"), []byte("pf:w1"), []byte("pf:w2"), []byte("pf:w3")}
+	out := make([]bool, len(keys))
+	l.AllowBatch(t0, keys, out) // warm the keys and the hash scratch
+	if avg := testing.AllocsPerRun(256, func() {
+		l.AllowBatch(t0, keys, out)
+	}); avg != 0 {
+		t.Fatalf("AllowBatch allocates %v/op on warm keys", avg)
+	}
+}
+
+// TestHash64BytesAgrees pins the string/byte hash agreement AllowBytes
+// relies on for shard selection.
+func TestHash64BytesAgrees(t *testing.T) {
+	for _, s := range []string{"", "a", "pf:user-1", "path:/booking/hold"} {
+		if hash64(s) != hash64Bytes([]byte(s)) {
+			t.Fatalf("hash64(%q) != hash64Bytes", s)
+		}
+	}
+}

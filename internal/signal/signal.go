@@ -53,6 +53,23 @@ func hash64(key string) uint64 {
 	return h
 }
 
+// hash64Bytes is hash64 over a key assembled in a byte buffer, so hot
+// paths can hash scratch-built keys without materialising a string. For
+// equal content the two functions agree, which is what lets string-keyed
+// containers serve []byte lookups.
+func hash64Bytes(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 // mix64 is the SplitMix64 finalizer, used to whiten hash64 outputs into
 // independent-looking secondary hashes.
 func mix64(z uint64) uint64 {
