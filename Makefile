@@ -1,18 +1,25 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster
+.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster partition
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
 # monitors are concurrent), the chaos suite, the cluster suite, a
 # one-iteration benchmark compile+run, and the telemetry smoke test.
-check: vet build race chaos cluster bench-smoke obs-smoke
+check: vet build race chaos cluster partition bench-smoke obs-smoke
 
 # cluster runs the multi-node gate-fleet suite — routing, anti-entropy
 # replication and the worker/node golden determinism tests — under the
 # race detector (gossip interleaves with request handling).
 cluster:
 	$(GO) test -race -count=1 ./internal/cluster
+
+# partition runs the socket-gossip and fault-injection fleet suites
+# under the race detector: the HTTP transport, the fault transport, the
+# wire codec, and the E16 partition-scenario goldens (determinism, drop
+# curve, heal convergence).
+partition:
+	$(GO) test -race -count=1 -timeout 300s -run 'Partition|HTTPTransport|FaultTransport|SnapshotWire|FetchRetry|FetchTimeout|RoundBudget|Degraded' ./cmd/fraudsim ./internal/cluster
 
 # obs-smoke boots the telemetry mux, scrapes /metrics and /healthz, and
 # fails if the exposition contains a single unparseable line.

@@ -7,6 +7,12 @@
 //
 //	benchdiff BENCH_BASELINE.json BENCH_PR7.json
 //	benchdiff -hot 'GateDecide|LimiterAllow' -tolerance 15 old.json new.json
+//	benchdiff -update BENCH_BASELINE.json BENCH_PR7.json
+//
+// With -update the comparison is skipped: CURRENT's minimum samples are
+// rewritten to BASELINE as a minimal go-test JSON stream benchdiff itself
+// parses — the accepted way to re-baseline after a deliberate hot-path
+// change. The update refuses to write a baseline with no gated benchmarks.
 //
 // Each benchmark's ns/op, B/op and allocs/op are taken as the minimum
 // across the snapshot's samples (-count=3 in the Makefile): the minimum
@@ -206,17 +212,43 @@ func report(w io.Writer, deltas []delta, missing []string) int {
 	return 0
 }
 
+// encodeSnapshot renders parsed results back into a minimal go-test JSON
+// stream parseBench round-trips: one output event per benchmark carrying a
+// synthesized result line with the minimum sample. Keys are emitted in
+// sorted order so re-baselining is deterministic and diffs stay readable.
+func encodeSnapshot(results map[string]benchResult) []byte {
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		i := strings.LastIndex(k, "/Benchmark")
+		pkg, name := k[:i], k[i+1:]
+		res := results[k]
+		line := fmt.Sprintf("%s \t       1\t%.1f ns/op\t%.0f B/op\t%.0f allocs/op\n",
+			name, res.NsOp, res.BOp, res.AllocsOp)
+		ev, _ := json.Marshal(testEvent{Action: "output", Package: pkg, Output: line})
+		b.Write(ev)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
 // run is main without the process exit, for tests.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	hotExpr := fs.String("hot", "GateDecide", "regexp selecting the gated hot-path benchmarks")
 	tolerance := fs.Float64("tolerance", 10, "allowed ns/op regression for hot benchmarks, percent")
+	update := fs.Bool("update", false,
+		"re-baseline: write CURRENT's minimum samples to BASELINE instead of comparing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-hot regexp] [-tolerance pct] BASELINE.json CURRENT.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-hot regexp] [-tolerance pct] [-update] BASELINE.json CURRENT.json")
 		return 2
 	}
 	hot, err := regexp.Compile(*hotExpr)
@@ -232,18 +264,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		return parseBench(f)
 	}
-	base, err := load(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(stderr, "benchdiff:", err)
-		return 2
-	}
 	cur, err := load(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
-	if len(base) == 0 || len(cur) == 0 {
-		fmt.Fprintln(stderr, "benchdiff: a snapshot contains no benchmark results")
+	if len(cur) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: current snapshot contains no benchmark results")
+		return 2
+	}
+	if *update {
+		// A re-baseline that would drop every gated benchmark is a mistake
+		// (wrong -hot, wrong file): refuse it rather than silently retiring
+		// the perf gate.
+		hotCount := 0
+		for k := range cur {
+			if hot.MatchString(k) {
+				hotCount++
+			}
+		}
+		if hotCount == 0 {
+			fmt.Fprintf(stderr, "benchdiff: refusing to re-baseline: no benchmark matches -hot %q\n", *hotExpr)
+			return 2
+		}
+		if err := os.WriteFile(fs.Arg(0), encodeSnapshot(cur), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: baseline %s updated with %d benchmarks (%d gated)\n",
+			fs.Arg(0), len(cur), hotCount)
+		return 0
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: baseline snapshot contains no benchmark results")
 		return 2
 	}
 	deltas, missing := diff(base, cur, hot, *tolerance)

@@ -158,3 +158,79 @@ func TestDiffAgainstRealSnapshotShape(t *testing.T) {
 		t.Fatalf("self-diff not clean: %+v missing %v", deltas, missing)
 	}
 }
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	var lines []string
+	for _, ns := range []float64{300, 250, 280} {
+		lines = append(lines, resultEvents("BenchmarkGateDecideInstrumented", ns, 16, 2)...)
+	}
+	lines = append(lines, resultEvents("BenchmarkColdPath", 9000, 512, 40)...)
+	curPath := write(t, dir, "cur.json", snapshot(lines...))
+	basePath := filepath.Join(dir, "base.json")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-update", basePath, curPath}, &out, &errOut); code != 0 {
+		t.Fatalf("update exit %d: %s", code, errOut.String())
+	}
+	// The rewritten baseline must round-trip through parseBench with the
+	// minimum samples intact...
+	f, err := os.Open(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := parseBench(f)
+	if err != nil {
+		t.Fatalf("rewritten baseline unparseable: %v", err)
+	}
+	res, ok := base["funabuse/internal/httpgate/BenchmarkGateDecideInstrumented"]
+	if !ok || res.NsOp != 250 || res.AllocsOp != 2 || res.BOp != 16 {
+		t.Fatalf("rewritten baseline wrong: %+v (ok=%v)", res, ok)
+	}
+	if len(base) != 2 {
+		t.Fatalf("baseline holds %d benchmarks, want 2", len(base))
+	}
+	// ...and an immediate compare against the same current must pass.
+	out.Reset()
+	if code := run([]string{basePath, curPath}, &out, &errOut); code != 0 {
+		t.Fatalf("fresh baseline vs itself failed: %s%s", out.String(), errOut.String())
+	}
+}
+
+func TestUpdateRefusesBaselineWithoutGatedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	curPath := write(t, dir, "cur.json",
+		snapshot(resultEvents("BenchmarkColdPath", 9000, 512, 40)...))
+	basePath := write(t, dir, "base.json", "keep me")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-update", basePath, curPath}, &out, &errOut); code == 0 {
+		t.Fatal("update accepted a snapshot with no gated benchmark")
+	}
+	if got, _ := os.ReadFile(basePath); string(got) != "keep me" {
+		t.Fatalf("refused update still overwrote the baseline: %q", got)
+	}
+}
+
+func TestUpdateIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	lines := append(resultEvents("BenchmarkGateDecide", 100, 0, 0),
+		resultEvents("BenchmarkAnother", 200, 8, 1)...)
+	curPath := write(t, dir, "cur.json", snapshot(lines...))
+	read := func(name string) string {
+		path := filepath.Join(dir, name)
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-update", path, curPath}, &out, &errOut); code != 0 {
+			t.Fatalf("update exit %d: %s", code, errOut.String())
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := read("a.json"), read("b.json"); a != b {
+		t.Fatal("two updates from the same snapshot produced different baselines")
+	}
+}

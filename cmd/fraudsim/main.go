@@ -9,6 +9,7 @@
 //	fraudsim -scenario mixed    -days 3 -defend -serve :9090
 //	fraudsim -scenario loadsim  -loadworkers 8
 //	fraudsim -scenario clustersim
+//	fraudsim -scenario partition
 //
 // The loadsim scenario is different in kind: instead of the in-process
 // simulation it boots a real httpgate-backed HTTP server and replays a
@@ -21,6 +22,12 @@
 // count and gossip interval, measuring the attacker leak rate a per-node
 // defence concedes versus one that replicates rules and merged sketch
 // state; see internal/cluster.
+//
+// The partition scenario moves that fleet's gossip onto real loopback
+// sockets and injects faults — drop-probability and propagation-delay
+// sweeps plus a healed network partition — to measure how the defence
+// degrades and recovers; see internal/cluster's HTTPTransport and
+// FaultTransport.
 //
 // All scenarios are deterministic per -seed (loadsim under its default
 // virtual pacing; -loadreal switches to wall-clock pacing). With -serve
@@ -86,7 +93,7 @@ type options struct {
 }
 
 func main() {
-	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim, clustersim")
+	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim, clustersim, partition")
 	days := flag.Int("days", 7, "attack duration in simulated days")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	defend := flag.Bool("defend", false, "run the adaptive defender")
@@ -169,6 +176,8 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return runLoadsim(opts, stdout, stderr)
 	case "clustersim":
 		return runClustersim(opts, stdout, stderr)
+	case "partition":
+		return runPartition(opts, stdout, stderr)
 	case "seatspin", "smspump", "manual", "mixed":
 	default:
 		return fmt.Errorf("unknown scenario %q", opts.scenario)

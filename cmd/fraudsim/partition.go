@@ -1,0 +1,408 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"funabuse/internal/cluster"
+	"funabuse/internal/faultinject"
+	"funabuse/internal/loadgen"
+	"funabuse/internal/metrics"
+	"funabuse/internal/obs"
+	"funabuse/internal/resilience"
+	"funabuse/internal/simclock"
+)
+
+// The partition scenario (E16) replays the distributed low-and-slow plan
+// against a 4-node fleet whose gossip travels real loopback sockets
+// (HTTPTransport in the FGS1 wire form) through a seeded FaultTransport,
+// and measures what a lossy, laggy, partitioned network costs the
+// fleet-view defence:
+//
+//   - a drop-probability sweep: leak rate rises monotonically as gossip
+//     drops starve the merged view, and one fetch retry at the same 0.6
+//     drop rate recovers most of the failed exchanges (and with them the
+//     degraded-response count);
+//   - a propagation-delay sweep: stale snapshots delay the threshold
+//     crossing in proportion to the injected lag;
+//   - a healed-partition timeline: with the fleet split {0,1}|{2,3}
+//     during the cut window, neither side's view reaches the threshold —
+//     nodes degrade and keep serving on last-known state — and the first
+//     post-heal exchange merges the halves and lands the block rule.
+//
+// Under virtual pacing every arm is bit-deterministic per seed: fault
+// draws come from one seeded stream serialized under the transport mutex,
+// the anti-entropy loop fetches serially, and link cuts are pure
+// functions of the shared manual clock.
+
+// Partition-scenario fleet shape. The rule threshold is chosen against
+// the low-and-slow plan's arithmetic: the full 4-node fleet view reaches
+// ~120 in-window observations per attacking fingerprint at steady state,
+// one partitioned half (two fresh nodes plus the other side's decaying
+// pre-cut sketches) peaks near 90 — so 100 is only crossable merged.
+const (
+	partitionNodes         = 4
+	partitionGossip        = 2 * time.Second
+	partitionRuleThreshold = 100
+	partitionRuleWindow    = 20 * time.Second
+	partitionBucket        = 5 * time.Second
+	partitionCutStart      = 15 * time.Second
+	partitionCutLen        = 20 * time.Second
+)
+
+// partitionArm is one fault plan the shared plan is replayed against.
+type partitionArm struct {
+	name    string
+	group   string // report section: "drop", "delay", "timeline"
+	drop    float64
+	delay   time.Duration // served-snapshot minimum age; 0 disables
+	retries int           // FetchRetry.Attempts; 0 selects 1 (no retry)
+	cut     bool          // partition {0,1}|{2,3} during the cut window
+}
+
+// partitionArms: the drop sweep (with a retry arm at the same drop rate),
+// the delay sweep, and the healed-partition pair.
+var partitionArms = []partitionArm{
+	{name: "clean", group: "drop"},
+	{name: "drop p=0.3", group: "drop", drop: 0.3},
+	{name: "drop p=0.6", group: "drop", drop: 0.6},
+	{name: "drop p=0.6 retry", group: "drop", drop: 0.6, retries: 2},
+	{name: "drop p=0.9", group: "drop", drop: 0.9},
+	{name: "delay 4s", group: "delay", delay: 4 * time.Second},
+	{name: "delay 8s", group: "delay", delay: 8 * time.Second},
+	{name: "healthy", group: "timeline"},
+	{name: "partitioned", group: "timeline", cut: true},
+}
+
+// bucketTally accumulates one timeline bucket's outcomes.
+type bucketTally struct {
+	abusiveDone     int
+	abusiveAdmitted int
+	degraded        int
+}
+
+// partitionOutcome is one arm's measurements, joined for the report.
+type partitionOutcome struct {
+	arm     partitionArm
+	result  *loadgen.Result
+	stats   cluster.Stats
+	faults  cluster.FaultStats
+	reasons map[string]uint64
+	// firstRule is the first origination instant relative to plan start;
+	// negative when no rule originated.
+	firstRule time.Duration
+	buckets   []bucketTally
+}
+
+// runPartition replays the seeded low-and-slow plan against every fault
+// arm and reports the three sections.
+func runPartition(opts options, stdout, stderr io.Writer) error {
+	start := loadsimEpoch
+	if opts.loadReal {
+		start = time.Now()
+	}
+	sc := loadgen.LowAndSlowScenario(opts.seed, start)
+	plan, err := loadgen.BuildPlan(sc)
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	if opts.telemetry != nil || opts.serve != "" {
+		reg = opts.telemetry
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		reg.Gauge("fraudsim_seed").Set(float64(opts.seed))
+		reg.Gauge("fraudsim_scenario_info",
+			obs.Label{Name: "scenario", Value: "partition"}).Set(1)
+		reg.Help("fraudsim_scenario_info", "Constant 1; the scenario label identifies the run.")
+	}
+	if opts.serve != "" {
+		ring := opts.traces
+		if ring == nil {
+			ring = obs.NewTraceRing(obs.DefaultTraceCapacity)
+		}
+		srv, err := serveTelemetry(opts.serve, reg, ring, stderr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
+	outcomes, err := partitionOutcomes(opts, plan, reg, stderr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprint(stdout, partitionSweepReport("partition drop sweep", outcomes, "drop").String())
+	fmt.Fprint(stdout, partitionSweepReport("partition delay sweep", outcomes, "delay").String())
+	fmt.Fprint(stdout, partitionTimelineReport(outcomes, start).String())
+
+	if opts.stayUp && opts.serve != "" {
+		waitForInterrupt(stderr)
+	}
+	return nil
+}
+
+// partitionOutcomes replays the plan against every arm in order.
+func partitionOutcomes(opts options, plan *loadgen.Plan, reg *obs.Registry, stderr io.Writer) ([]partitionOutcome, error) {
+	outcomes := make([]partitionOutcome, 0, len(partitionArms))
+	for _, arm := range partitionArms {
+		out, err := runPartitionArm(opts, plan, arm, reg, stderr)
+		if err != nil {
+			return nil, fmt.Errorf("arm %q: %w", arm.name, err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, nil
+}
+
+// runPartitionArm boots a fresh socket-gossip fleet behind the arm's
+// fault plan, replays the shared plan through its routing front, and
+// tears everything down.
+func runPartitionArm(opts options, plan *loadgen.Plan, arm partitionArm, reg *obs.Registry, stderr io.Writer) (partitionOutcome, error) {
+	start := plan.Scenario.Start
+
+	// Gossip rides real loopback sockets: one HTTP transport serves every
+	// node's snapshot and fetches each back through its own listener.
+	httpTr := cluster.NewHTTPTransport(nil)
+	gossipURL, closeGossip, err := httpTr.Serve()
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+	defer func() { _ = closeGossip() }()
+	for i := range partitionNodes {
+		httpTr.SetPeer(i, gossipURL)
+	}
+
+	var manual *simclock.Manual
+	var clk simclock.Clock
+	if !opts.loadReal {
+		manual = simclock.NewManual(start)
+		clk = manual
+	}
+	fcfg := cluster.FaultConfig{
+		Seed:     opts.seed,
+		Clock:    clk,
+		DropRate: arm.drop,
+	}
+	if arm.delay > 0 {
+		fcfg.DelayRate = 1
+		fcfg.Delay = arm.delay
+	}
+	if arm.cut {
+		fcfg.Links = cluster.PartitionLinks([]int{0, 1}, []int{2, 3},
+			faultinject.Schedule{
+				Start:  start.Add(partitionCutStart),
+				Period: time.Hour,
+				Down:   partitionCutLen,
+			})
+	}
+	faultTr := cluster.NewFaultTransport(httpTr, fcfg)
+
+	ccfg := cluster.Config{
+		Nodes:          partitionNodes,
+		Clock:          clk,
+		Router:         cluster.NewRandomRouter(opts.seed),
+		Transport:      faultTr,
+		Gossip:         partitionGossip,
+		ReplicateRules: true,
+		ReplicateState: true,
+		FetchRetry:     resilience.RetryConfig{Attempts: max(arm.retries, 1)},
+		RuleThreshold:  partitionRuleThreshold,
+		RuleWindow:     partitionRuleWindow,
+		RulePaths:      []string{loadgen.PathHold, loadgen.PathSMS},
+	}
+	fleet, err := cluster.Start(ccfg)
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+	defer fleet.Close()
+	fmt.Fprintf(stderr, "fraudsim: partition arm %q driving %s (gossip via %s)\n",
+		arm.name, fleet.URL, gossipURL)
+
+	// The Observe hook buckets outcomes by arrival time for the timeline:
+	// abusive leak and degraded-response stamps per window.
+	var mu sync.Mutex
+	var buckets []bucketTally
+	observe := func(o loadgen.Observation) {
+		idx := int(o.Arrival.At.Sub(start) / partitionBucket)
+		if idx < 0 {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for len(buckets) <= idx {
+			buckets = append(buckets, bucketTally{})
+		}
+		b := &buckets[idx]
+		if o.Header.Get(cluster.FleetDegradedHeader) != "" {
+			b.degraded++
+		}
+		if plan.Scenario.Classes[o.Arrival.Class].Kind.Abusive() && o.Status != 0 {
+			b.abusiveDone++
+			if o.Verdict == "" && o.Status < 400 {
+				b.abusiveAdmitted++
+			}
+		}
+	}
+
+	runner, err := loadgen.NewRunner(loadgen.RunnerConfig{
+		Plan:      plan,
+		BaseURL:   fleet.URL,
+		Workers:   opts.loadWorkers,
+		Virtual:   manual,
+		Telemetry: reg,
+		Arm:       arm.name,
+		Observe:   observe,
+	})
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return partitionOutcome{}, err
+	}
+
+	out := partitionOutcome{
+		arm:       arm,
+		result:    res,
+		stats:     fleet.Cluster.Stats(),
+		faults:    faultTr.Stats(),
+		reasons:   fleet.Cluster.FailuresByReason(),
+		firstRule: -1,
+		buckets:   buckets,
+	}
+	if rules := fleet.Cluster.Rules(); len(rules) > 0 {
+		out.firstRule = rules[0].At.Sub(start)
+	}
+	return out, nil
+}
+
+// partitionSweepReport renders one sweep section: arms of the given group
+// as columns, fault/replication/leak measurements as rows.
+func partitionSweepReport(title string, outcomes []partitionOutcome, group string) *metrics.Table {
+	var cols []partitionOutcome
+	for _, o := range outcomes {
+		if o.arm.group == group {
+			cols = append(cols, o)
+		}
+	}
+	headers := append(make([]string, 0, len(cols)+1), "Metric")
+	for _, o := range cols {
+		headers = append(headers, o.arm.name)
+	}
+	t := metrics.NewTable(title, headers...)
+	row := func(label string, cell func(partitionOutcome) string) {
+		cells := append(make([]string, 0, len(cols)+1), label)
+		for _, o := range cols {
+			cells = append(cells, cell(o))
+		}
+		t.AddRow(cells...)
+	}
+
+	row("plan hash", func(o partitionOutcome) string {
+		return fmt.Sprintf("%016x", o.result.PlanHash)
+	})
+	row("gossip rounds", func(o partitionOutcome) string {
+		return metrics.FormatInt(int64(o.stats.GossipRounds))
+	})
+	row("fetches faulted", func(o partitionOutcome) string {
+		return metrics.FormatInt(int64(o.faults.Cuts + o.faults.Drops + o.faults.Delays))
+	})
+	row("fetch failures", func(o partitionOutcome) string {
+		return metrics.FormatInt(int64(o.stats.FetchFailures))
+	})
+	row("degraded responses", func(o partitionOutcome) string {
+		return metrics.FormatInt(int64(o.stats.DegradedResponses))
+	})
+	row("rules originated", func(o partitionOutcome) string {
+		return metrics.FormatInt(int64(o.stats.RulesOriginated))
+	})
+	row("rules replicated", func(o partitionOutcome) string {
+		return metrics.FormatInt(int64(o.stats.RulesReplicated))
+	})
+	row("first rule at", func(o partitionOutcome) string {
+		if o.firstRule < 0 {
+			return "never"
+		}
+		return "+" + o.firstRule.Round(time.Millisecond).String()
+	})
+	row("attacker leak rate", func(o partitionOutcome) string {
+		rate, ok := o.result.AbusiveLeakRate()
+		if !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", rate)
+	})
+	row("honest admit rate", func(o partitionOutcome) string {
+		var admitted, done uint64
+		for _, c := range o.result.Classes {
+			if c.Kind.Abusive() {
+				continue
+			}
+			admitted += c.Admitted
+			done += c.Completed()
+		}
+		if done == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(admitted)/float64(done))
+	})
+	return t
+}
+
+// partitionTimelineReport renders the healed-partition timeline: per
+// 5-second window, the abusive leak with and without the cut, plus the
+// degraded-response stamps the cut produces. The partitioned fleet leaks
+// through the whole cut — both halves keep serving below threshold — and
+// converges to the healthy arm's blocked state after the first post-heal
+// exchanges.
+func partitionTimelineReport(outcomes []partitionOutcome, start time.Time) *metrics.Table {
+	var healthy, parted *partitionOutcome
+	for i := range outcomes {
+		switch outcomes[i].arm.name {
+		case "healthy":
+			healthy = &outcomes[i]
+		case "partitioned":
+			parted = &outcomes[i]
+		}
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("healed partition timeline (cut +%s..+%s)",
+			partitionCutStart, partitionCutStart+partitionCutLen),
+		"Window", "healthy leak", "partitioned leak", "partitioned degraded")
+	leak := func(b bucketTally) string {
+		if b.abusiveDone == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", float64(b.abusiveAdmitted)/float64(b.abusiveDone))
+	}
+	n := max(len(healthy.buckets), len(parted.buckets))
+	for i := range n {
+		var hb, pb bucketTally
+		if i < len(healthy.buckets) {
+			hb = healthy.buckets[i]
+		}
+		if i < len(parted.buckets) {
+			pb = parted.buckets[i]
+		}
+		t.AddRow(
+			fmt.Sprintf("+%02ds..+%02ds",
+				i*int(partitionBucket/time.Second), (i+1)*int(partitionBucket/time.Second)),
+			leak(hb), leak(pb), metrics.FormatInt(int64(pb.degraded)))
+	}
+	t.AddRow("first rule",
+		fmtFirstRule(healthy.firstRule), fmtFirstRule(parted.firstRule), "")
+	return t
+}
+
+func fmtFirstRule(d time.Duration) string {
+	if d < 0 {
+		return "never"
+	}
+	return "+" + d.Round(time.Millisecond).String()
+}

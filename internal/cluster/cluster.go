@@ -23,6 +23,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -36,9 +37,21 @@ import (
 	"funabuse/internal/httpgate"
 	"funabuse/internal/mitigate"
 	"funabuse/internal/obs"
+	"funabuse/internal/resilience"
 	"funabuse/internal/signal"
 	"funabuse/internal/simclock"
 )
+
+// FleetDegradedHeader is set on responses served by a node whose gossip
+// view of some peer has gone stale past Config.StaleAfter: the node keeps
+// serving on its last-known fleet state rather than stalling the request
+// path, and this header is how callers (and the load generator) see that
+// the decision ran degraded.
+const FleetDegradedHeader = "X-Fleet-Degraded"
+
+// FleetDegradedStale is the FleetDegradedHeader value for gossip
+// staleness, the one degradation mode the anti-entropy loop can enter.
+const FleetDegradedStale = "gossip-stale"
 
 // Config assembles a Cluster.
 type Config struct {
@@ -66,6 +79,29 @@ type Config struct {
 	// local rates.
 	ReplicateState bool
 
+	// FetchRetry tunes the jittered-backoff retry wrapped around every
+	// peer fetch. The zero value selects 2 attempts with a 10 ms base
+	// delay; Attempts of 1 disables retry. Under a manual clock backoffs
+	// are no-ops (virtual runs never sleep), so Attempts alone bounds the
+	// loop there.
+	FetchRetry resilience.RetryConfig
+	// FetchTimeout bounds each fetch attempt with a real timer; zero
+	// disables the wrapper. Leave it zero in virtual-clock runs — it
+	// spends wall time the virtual schedule cannot see.
+	FetchTimeout time.Duration
+	// RoundBudget caps the time one anti-entropy round may spend
+	// fetching, measured on the cluster clock: once spent, the remaining
+	// peers are skipped this round (their last-known snapshots still
+	// feed the view) rather than stalling the piggybacked request. Zero
+	// means no budget.
+	RoundBudget time.Duration
+	// StaleAfter marks a node degraded while its freshest successful
+	// fetch of some peer is older than this: the node keeps serving on
+	// last-known fleet state and stamps FleetDegradedHeader on its
+	// responses. Zero selects 3× Gossip; with gossip disabled nothing is
+	// ever marked degraded.
+	StaleAfter time.Duration
+
 	// RuleThreshold arms per-node detection: when one fingerprint's
 	// fleet-view volume — its local sliding-window rate plus the merged
 	// peer view — reaches the threshold on a watched path, the node
@@ -91,19 +127,45 @@ type Config struct {
 	Telemetry *obs.Registry
 }
 
+// Gossip fetch failure reasons, indexing Cluster.failures and labelling
+// the MetricGossipFailures family.
+const (
+	failTransport = iota
+	failTimeout
+	failDecode
+	failUnpublished
+	failBudget
+	numFailReasons
+)
+
+// failReasons names the counter indices for the reason label.
+var failReasons = [numFailReasons]string{
+	"transport", "timeout", "decode", "unpublished", "budget",
+}
+
+// errRoundBudget marks a peer fetch skipped because the round's deadline
+// budget was already spent.
+var errRoundBudget = errors.New("cluster: gossip round budget exhausted")
+
 // Cluster is a running in-process gate fleet.
 type Cluster struct {
-	cfg       Config
-	clock     simclock.Clock
-	router    Router
-	transport Transport
-	nodes     []*node
+	cfg        Config
+	clock      simclock.Clock
+	router     Router
+	transport  Transport
+	nodes      []*node
+	start      time.Time
+	staleAfter time.Duration
+	fetchRetry resilience.RetryConfig
+	sleep      func(time.Duration)
 
 	gossipMu   sync.Mutex
 	lastGossip atomic.Int64
 	rounds     atomic.Uint64
+	failures   [numFailReasons]atomic.Uint64
 
 	propHist  *obs.Histogram
+	roundHist *obs.Histogram
 	propSum   atomic.Int64 // nanoseconds, for MeanPropagation
 	propCount atomic.Uint64
 }
@@ -129,6 +191,18 @@ type node struct {
 	applied    map[int]uint64
 	replicated uint64
 	peerView   *signal.State
+	// lastGood is the last snapshot per peer that fetched and validated
+	// cleanly; lastOKAt is when. A peer that cannot be reached this round
+	// keeps contributing its last-known state — graceful degradation
+	// instead of a shrinking fleet view.
+	lastGood map[int]Snapshot
+	lastOKAt map[int]time.Time
+
+	// degraded is recomputed after each absorb: some peer's last good
+	// fetch is older than StaleAfter. degradedServed counts responses
+	// this node stamped with FleetDegradedHeader.
+	degraded       atomic.Bool
+	degradedServed atomic.Uint64
 }
 
 // New assembles the fleet. Node engines share the construction-time clock
@@ -150,16 +224,41 @@ func New(cfg Config) *Cluster {
 		cfg.RuleWindow = time.Minute
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		clock:     cfg.Clock,
-		router:    cfg.Router,
-		transport: cfg.Transport,
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		router:     cfg.Router,
+		transport:  cfg.Transport,
+		staleAfter: cfg.StaleAfter,
+		fetchRetry: cfg.FetchRetry,
+		sleep:      time.Sleep,
 	}
-	c.lastGossip.Store(c.clock.Now().UnixNano())
+	if c.staleAfter <= 0 && cfg.Gossip > 0 {
+		c.staleAfter = 3 * cfg.Gossip
+	}
+	if cfg.Gossip <= 0 {
+		c.staleAfter = 0
+	}
+	if c.fetchRetry.Attempts == 0 {
+		c.fetchRetry.Attempts = 2
+	}
+	if c.fetchRetry.BaseDelay == 0 {
+		c.fetchRetry.BaseDelay = 10 * time.Millisecond
+	}
+	if _, manual := cfg.Clock.(*simclock.Manual); manual {
+		// Virtual runs must never sleep: the manual clock is driven by
+		// the load schedule, so retry backoffs collapse to immediate
+		// re-attempts and Attempts alone bounds the fetch loop.
+		c.sleep = func(time.Duration) {}
+	}
+	c.start = c.clock.Now()
+	c.lastGossip.Store(c.start.UnixNano())
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Help(MetricRulePropagation,
 			"Delay between a rule's origination and its application on a peer.")
 		c.propHist = cfg.Telemetry.Histogram(MetricRulePropagation, nil)
+		cfg.Telemetry.Help(MetricGossipRoundSeconds,
+			"Duration of each anti-entropy round on the cluster clock.")
+		c.roundHist = cfg.Telemetry.Histogram(MetricGossipRoundSeconds, nil)
 	}
 	start := c.clock.Now()
 	watch := make(map[string]bool, len(cfg.RulePaths))
@@ -168,13 +267,15 @@ func New(cfg Config) *Cluster {
 	}
 	for i := range cfg.Nodes {
 		n := &node{
-			id:      i,
-			cluster: c,
-			clock:   cfg.Clock,
-			blocks:  mitigate.NewBlockList(0),
-			watch:   watch,
-			seen:    make(map[string]bool),
-			applied: make(map[int]uint64),
+			id:       i,
+			cluster:  c,
+			clock:    cfg.Clock,
+			blocks:   mitigate.NewBlockList(0),
+			watch:    watch,
+			seen:     make(map[string]bool),
+			applied:  make(map[int]uint64),
+			lastGood: make(map[int]Snapshot),
+			lastOKAt: make(map[int]time.Time),
 		}
 		// A compact engine profile: snapshots stay small on the wire and
 		// the fingerprint key space of one dimension fits comfortably.
@@ -226,7 +327,9 @@ func New(cfg Config) *Cluster {
 }
 
 // Handler returns the routing front: it runs any due gossip round, picks
-// a node for the request's identity, and serves from that node's gate.
+// a node for the request's identity, and serves from that node's gate. A
+// node whose gossip view has gone stale stamps FleetDegradedHeader but
+// serves anyway — the failure model is degrade, never stall.
 func (c *Cluster) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		c.maybeGossip(c.clock.Now())
@@ -234,7 +337,12 @@ func (c *Cluster) Handler() http.Handler {
 		if idx < 0 || idx >= len(c.nodes) {
 			idx = 0
 		}
-		c.nodes[idx].handler.ServeHTTP(w, r)
+		n := c.nodes[idx]
+		if n.degraded.Load() {
+			w.Header().Set(FleetDegradedHeader, FleetDegradedStale)
+			n.degradedServed.Add(1)
+		}
+		n.handler.ServeHTTP(w, r)
 	})
 }
 
@@ -334,6 +442,9 @@ func (c *Cluster) gossip(now time.Time) {
 		n.absorb(now)
 	}
 	c.rounds.Add(1)
+	if c.roundHist != nil {
+		c.roundHist.Observe(c.clock.Now().Sub(now).Seconds())
+	}
 }
 
 // snapshot assembles the node's published payload.
@@ -353,6 +464,12 @@ func (n *node) snapshot(includeState bool) Snapshot {
 // beyond the per-origin high-water mark land in the local blocklist, and
 // peer states merge into a fresh fleet view. The view is rebuilt from
 // scratch each round — never re-merged — because State.Merge is additive.
+//
+// This is the loop hardened for lossy networks. Each fetch runs behind
+// the configured retry/timeout within the round's deadline budget; a peer
+// that cannot be reached (or whose snapshot fails decoding) falls back to
+// its last-known-good snapshot, so the fleet view degrades to staleness
+// instead of losing vantage points, and the failure is counted by reason.
 func (n *node) absorb(now time.Time) {
 	c := n.cluster
 	var view *signal.State
@@ -360,17 +477,50 @@ func (n *node) absorb(now time.Time) {
 		if peer.id == n.id {
 			continue
 		}
-		snap, ok := c.transport.Fetch(peer.id)
-		if !ok {
-			continue
+		snap, err := n.fetchPeer(peer.id, now)
+		fresh := err == nil
+		if !fresh {
+			c.countFailure(err)
+			var ok bool
+			n.mu.Lock()
+			snap, ok = n.lastGood[peer.id]
+			n.mu.Unlock()
+			if !ok {
+				continue
+			}
 		}
+		var st *signal.State
 		if c.cfg.ReplicateState && len(snap.State) > 0 {
-			if st, err := signal.DecodeState(snap.State); err == nil {
-				if view == nil {
-					view = st
-				} else {
-					view.Merge(st)
+			st, err = signal.DecodeState(snap.State)
+			if err != nil {
+				c.failures[failDecode].Add(1)
+				st = nil
+				if fresh {
+					// A fresh snapshot with a corrupt sketch: its rule log
+					// still decoded cleanly and stays usable, but the state
+					// comes from the last good snapshot and the peer is not
+					// promoted to fresh, so its staleness keeps growing.
+					fresh = false
+					n.mu.Lock()
+					prev, ok := n.lastGood[peer.id]
+					n.mu.Unlock()
+					if ok && len(prev.State) > 0 {
+						st, _ = signal.DecodeState(prev.State)
+					}
 				}
+			}
+		}
+		if fresh {
+			n.mu.Lock()
+			n.lastGood[peer.id] = snap
+			n.lastOKAt[peer.id] = now
+			n.mu.Unlock()
+		}
+		if st != nil {
+			if view == nil {
+				view = st
+			} else {
+				view.Merge(st)
 			}
 		}
 		if c.cfg.ReplicateRules {
@@ -380,6 +530,133 @@ func (n *node) absorb(now time.Time) {
 	n.mu.Lock()
 	n.peerView = view
 	n.mu.Unlock()
+	n.updateDegraded(now)
+}
+
+// fetchPeer fetches one peer's snapshot through the transport, behind the
+// configured jittered-backoff retry and per-attempt timeout, within
+// whatever remains of the round's deadline budget. ErrNotPublished stops
+// the retry loop immediately: an unpublished snapshot is replication
+// state, not a fault.
+func (n *node) fetchPeer(peer int, roundStart time.Time) (Snapshot, error) {
+	c := n.cluster
+	retryCfg := c.fetchRetry
+	if c.cfg.RoundBudget > 0 {
+		remaining := c.cfg.RoundBudget - c.clock.Now().Sub(roundStart)
+		if remaining <= 0 {
+			return Snapshot{}, errRoundBudget
+		}
+		if retryCfg.Budget <= 0 || retryCfg.Budget > remaining {
+			retryCfg.Budget = remaining
+		}
+	}
+	var snap Snapshot
+	var unpublished bool
+	err := resilience.Retry(retryCfg, c.clock, c.sleep, nil, func() error {
+		s, ferr := c.timedFetch(n.id, peer)
+		if errors.Is(ferr, ErrNotPublished) {
+			// Report success to stop the backoff loop; the flag carries
+			// the real outcome past Retry.
+			unpublished = true
+			return nil
+		}
+		if ferr != nil {
+			return ferr
+		}
+		snap, unpublished = s, false
+		return nil
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if unpublished {
+		return Snapshot{}, ErrNotPublished
+	}
+	return snap, nil
+}
+
+// fetchResult carries one attempt's outcome over the timeout channel, so
+// an abandoned slow attempt writes to its own slot and never races the
+// caller.
+type fetchResult struct {
+	snap Snapshot
+	err  error
+}
+
+// timedFetch is one transport fetch bounded by FetchTimeout (when set) on
+// a real timer, with panic isolation either way.
+func (c *Cluster) timedFetch(from, to int) (Snapshot, error) {
+	if c.cfg.FetchTimeout <= 0 {
+		var snap Snapshot
+		err := resilience.Safe(func() error {
+			s, ferr := fetchVia(c.transport, from, to)
+			if ferr == nil {
+				snap = s
+			}
+			return ferr
+		})
+		return snap, err
+	}
+	done := make(chan fetchResult, 1)
+	go func() {
+		var s Snapshot
+		err := resilience.Safe(func() error {
+			var ferr error
+			s, ferr = fetchVia(c.transport, from, to)
+			return ferr
+		})
+		done <- fetchResult{snap: s, err: err}
+	}()
+	timer := time.NewTimer(c.cfg.FetchTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.snap, r.err
+	case <-timer.C:
+		return Snapshot{}, resilience.ErrTimeout
+	}
+}
+
+// countFailure buckets one failed peer fetch under its reason counter.
+func (c *Cluster) countFailure(err error) {
+	switch {
+	case errors.Is(err, resilience.ErrTimeout):
+		c.failures[failTimeout].Add(1)
+	case errors.Is(err, ErrNotPublished):
+		c.failures[failUnpublished].Add(1)
+	case errors.Is(err, errRoundBudget), errors.Is(err, resilience.ErrBudgetExhausted):
+		c.failures[failBudget].Add(1)
+	default:
+		c.failures[failTransport].Add(1)
+	}
+}
+
+// updateDegraded recomputes the node's staleness flag: degraded while any
+// peer's last good fetch is older than StaleAfter (peers never fetched
+// age from the cluster start).
+func (n *node) updateDegraded(now time.Time) {
+	c := n.cluster
+	if c.staleAfter <= 0 || len(c.nodes) == 1 {
+		n.degraded.Store(false)
+		return
+	}
+	stale := false
+	n.mu.Lock()
+	for _, peer := range c.nodes {
+		if peer.id == n.id {
+			continue
+		}
+		last, ok := n.lastOKAt[peer.id]
+		if !ok {
+			last = c.start
+		}
+		if now.Sub(last) > c.staleAfter {
+			stale = true
+			break
+		}
+	}
+	n.mu.Unlock()
+	n.degraded.Store(stale)
 }
 
 // applyRules applies the delta of a peer's rule log past the high-water
@@ -481,6 +758,12 @@ type Stats struct {
 	MeanPropagation time.Duration
 	// Observed is the fleet-wide engine observation total.
 	Observed uint64
+	// FetchFailures totals the gossip fetch failures over every reason;
+	// FailuresByReason breaks them down.
+	FetchFailures uint64
+	// DegradedResponses counts responses stamped FleetDegradedHeader
+	// because the serving node's gossip view had gone stale.
+	DegradedResponses uint64
 }
 
 // Stats snapshots the fleet's replication counters; exact when quiesced.
@@ -490,17 +773,48 @@ func (c *Cluster) Stats() Stats {
 		GossipRounds:    c.rounds.Load(),
 		RulesReplicated: c.propCount.Load(),
 	}
+	for i := range c.failures {
+		st.FetchFailures += c.failures[i].Load()
+	}
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		st.RulesOriginated += len(n.originated)
 		n.mu.Unlock()
 		st.Observed += n.engine.Observed()
+		st.DegradedResponses += n.degradedServed.Load()
 	}
 	if st.RulesReplicated > 0 {
 		st.MeanPropagation = time.Duration(
 			uint64(c.propSum.Load()) / st.RulesReplicated)
 	}
 	return st
+}
+
+// FailuresByReason snapshots the gossip fetch-failure counters keyed by
+// reason label; exact when quiesced.
+func (c *Cluster) FailuresByReason() map[string]uint64 {
+	out := make(map[string]uint64, numFailReasons)
+	for i, r := range failReasons {
+		out[r] = c.failures[i].Load()
+	}
+	return out
+}
+
+// NodeDegraded reports whether node i is currently marked gossip-stale.
+func (c *Cluster) NodeDegraded(i int) bool { return c.nodes[i].degraded.Load() }
+
+// PeerStaleness returns how long ago node i last fetched a good snapshot
+// from peer j, as of the cluster clock (peers never fetched age from the
+// cluster start).
+func (c *Cluster) PeerStaleness(i, j int) time.Duration {
+	n := c.nodes[i]
+	n.mu.Lock()
+	last, ok := n.lastOKAt[j]
+	n.mu.Unlock()
+	if !ok {
+		last = c.start
+	}
+	return c.clock.Now().Sub(last)
 }
 
 // Fleet is a cluster serving on a real listener, the shape load runs

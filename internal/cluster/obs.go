@@ -20,6 +20,18 @@ const (
 	MetricFleetDenied     = "cluster_fleet_denied_total"
 	MetricFleetObserved   = "cluster_fleet_observed_total"
 	MetricRulePropagation = "cluster_rule_propagation_seconds"
+	// MetricGossipRoundSeconds is the histogram of full anti-entropy
+	// round durations, registered on the Telemetry registry by New.
+	MetricGossipRoundSeconds = "cluster_gossip_round_seconds"
+	// MetricGossipFailures counts failed peer fetches by reason label
+	// (transport, timeout, decode, unpublished, budget).
+	MetricGossipFailures = "cluster_gossip_failures_total"
+	// MetricPeerStaleness gauges, per (node, peer) label pair, how long
+	// ago the node last absorbed a good snapshot from the peer.
+	MetricPeerStaleness = "cluster_peer_staleness_seconds"
+	// MetricDegradedResponses counts, per node, responses served while
+	// the node's gossip view was stale (stamped FleetDegradedHeader).
+	MetricDegradedResponses = "cluster_degraded_responses_total"
 )
 
 // Collector exposes the fleet's replication and aggregate serving
@@ -37,6 +49,13 @@ func (c *Cluster) Collector() obs.Collector {
 			obs.Sample{Name: MetricNodes, Value: float64(len(c.nodes))},
 			obs.Sample{Name: MetricGossipRounds, Value: float64(c.rounds.Load())},
 		)
+		for i, reason := range failReasons {
+			dst = append(dst, obs.Sample{
+				Name:   MetricGossipFailures,
+				Labels: []obs.Label{{Name: "reason", Value: reason}},
+				Value:  float64(c.failures[i].Load()),
+			})
+		}
 		var admitted, denied, observed float64
 		for i, n := range c.nodes {
 			n.mu.Lock()
@@ -48,7 +67,21 @@ func (c *Cluster) Collector() obs.Collector {
 				obs.Sample{Name: MetricRulesOriginated, Labels: nodeLabels[i], Value: float64(orig)},
 				obs.Sample{Name: MetricRulesReplicated, Labels: nodeLabels[i], Value: float64(repl)},
 				obs.Sample{Name: MetricNodeObserved, Labels: nodeLabels[i], Value: float64(obsd)},
+				obs.Sample{Name: MetricDegradedResponses, Labels: nodeLabels[i], Value: float64(n.degradedServed.Load())},
 			)
+			for j := range c.nodes {
+				if j == i {
+					continue
+				}
+				dst = append(dst, obs.Sample{
+					Name: MetricPeerStaleness,
+					Labels: []obs.Label{
+						nodeLabels[i][0],
+						{Name: "peer", Value: strconv.Itoa(j)},
+					},
+					Value: c.PeerStaleness(i, j).Seconds(),
+				})
+			}
 			if v, ok := obs.Value(n.gate.Collector(), httpgate.MetricAdmitted); ok {
 				admitted += v
 			}

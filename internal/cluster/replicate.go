@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
@@ -26,14 +27,46 @@ type Snapshot struct {
 	State []byte
 }
 
+// Clone returns a deep copy sharing no memory with the receiver. Every
+// Transport clones on Publish, so a node appending to its rule log after
+// publishing can never race a peer reading the stored snapshot.
+func (s Snapshot) Clone() Snapshot {
+	c := Snapshot{Node: s.Node}
+	if s.Rules != nil {
+		c.Rules = append(make([]Rule, 0, len(s.Rules)), s.Rules...)
+	}
+	if s.State != nil {
+		c.State = append(make([]byte, 0, len(s.State)), s.State...)
+	}
+	return c
+}
+
+// ErrNotPublished reports a fetch of a node that has not published a
+// snapshot yet — a replication state, not a transport fault, so the
+// anti-entropy loop neither retries it nor counts it as an outage.
+var ErrNotPublished = errors.New("cluster: snapshot not published")
+
 // Transport moves snapshots between nodes. Publish replaces the node's
 // visible snapshot; Fetch reads the latest one published for a node.
-// Implementations must be safe for concurrent use. InProc is the
-// in-process implementation; the interface is the seam where a later PR
-// drops in real sockets behind the same anti-entropy loop.
+// Implementations must be safe for concurrent use, and must store a
+// defensive copy on Publish (use Snapshot.Clone) so publisher and
+// fetchers never share rule-slice or state-byte backing. InProc is the
+// in-process implementation; HTTPTransport carries the same snapshots
+// over real sockets in the FGS1 wire form.
 type Transport interface {
 	Publish(snap Snapshot)
 	Fetch(node int) (Snapshot, bool)
+}
+
+// PeerFetcher is the fallible, directional fetch seam layered over
+// Transport. FetchFrom names the fetching node, so a fault plan can cut
+// individual directed links (asymmetric partitions), and returns an error
+// instead of Fetch's bool so the anti-entropy loop can distinguish an
+// unpublished snapshot (ErrNotPublished) from a transport outage worth
+// retrying and counting. The cluster prefers this interface when the
+// configured Transport implements it.
+type PeerFetcher interface {
+	FetchFrom(from, to int) (Snapshot, error)
 }
 
 // InProc is the in-process Transport: a mutex-guarded map of the latest
@@ -48,14 +81,16 @@ func NewInProc() *InProc {
 	return &InProc{snaps: make(map[int]Snapshot)}
 }
 
-// Publish implements Transport.
+// Publish implements Transport, storing a defensive copy.
 func (t *InProc) Publish(snap Snapshot) {
+	snap = snap.Clone()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.snaps[snap.Node] = snap
 }
 
-// Fetch implements Transport.
+// Fetch implements Transport. The returned snapshot is shared by every
+// fetcher and must be treated as read-only.
 func (t *InProc) Fetch(node int) (Snapshot, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -169,3 +169,30 @@ func TestWrapCheck(t *testing.T) {
 		t.Fatalf("ok %v err %v", ok, err)
 	}
 }
+
+func TestScheduleBackToBackWindows(t *testing.T) {
+	// Down == Period: every period's outage abuts the next, so the target
+	// is down at every instant from Start on — with no single up instant
+	// at the seams.
+	s := Schedule{Start: t0, Period: time.Minute, Down: time.Minute}
+	for _, at := range []time.Duration{
+		0, time.Minute - time.Nanosecond, time.Minute,
+		time.Minute + time.Nanosecond, 90 * time.Minute,
+	} {
+		if !s.DownAt(t0.Add(at)) {
+			t.Fatalf("back-to-back schedule up at start%+v", at)
+		}
+	}
+	if s.DownAt(t0.Add(-time.Nanosecond)) {
+		t.Fatal("back-to-back schedule down before Start")
+	}
+}
+
+func TestScheduleNegativeDownNeverFires(t *testing.T) {
+	s := Schedule{Start: t0, Period: time.Minute, Down: -time.Second}
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if s.DownAt(t0.Add(at)) {
+			t.Fatalf("negative-Down schedule down at start%+v", at)
+		}
+	}
+}

@@ -66,6 +66,28 @@ type RunnerConfig struct {
 	// Arm, when non-empty, adds an arm label to every loadgen family so
 	// several defence-configuration arms can share one registry.
 	Arm string
+	// Observe, when non-nil, receives every completed request (including
+	// transport failures, with Status 0). Under virtual pacing arrivals
+	// dispatch one at a time in schedule order, so the hook sees a
+	// deterministic sequence; under wall pacing it must be safe for
+	// concurrent use. Experiments use it to bucket outcomes by arrival
+	// time — per-window leak timelines — without a second replay.
+	Observe func(Observation)
+}
+
+// Observation is one completed request as the Observe hook sees it.
+type Observation struct {
+	// Arrival is the scheduled request, with its intended instant and
+	// class/path identity.
+	Arrival Arrival
+	// Verdict is the gate's X-Denied-By reason, empty when admitted.
+	Verdict string
+	// Status is the HTTP status, 0 when the transport failed.
+	Status int
+	// Header is the response header set (nil on transport failure), for
+	// markers loadgen itself does not interpret — degradation stamps and
+	// the like.
+	Header http.Header
 }
 
 // classTally is one class's atomic counters, read for the Result and by
@@ -268,6 +290,9 @@ func (r *Runner) issue(a Arrival, intended time.Time) {
 		if t.errCounter != nil {
 			t.errCounter.Inc()
 		}
+		if r.cfg.Observe != nil {
+			r.cfg.Observe(Observation{Arrival: a})
+		}
 		return
 	}
 	req.Header.Set(httpgate.FingerprintHeader, fpHex)
@@ -279,6 +304,9 @@ func (r *Runner) issue(a Arrival, intended time.Time) {
 		t.transport.Add(1)
 		if t.errCounter != nil {
 			t.errCounter.Inc()
+		}
+		if r.cfg.Observe != nil {
+			r.cfg.Observe(Observation{Arrival: a})
 		}
 		return
 	}
@@ -305,6 +333,14 @@ func (r *Runner) issue(a Arrival, intended time.Time) {
 	}
 	t.record(deniedBy, resp.StatusCode)
 	cl.observe(a.At, deniedBy, degradedLists(degraded, httpgate.LayerBlocklist.String()))
+	if r.cfg.Observe != nil {
+		r.cfg.Observe(Observation{
+			Arrival: a,
+			Verdict: deniedBy,
+			Status:  resp.StatusCode,
+			Header:  resp.Header,
+		})
+	}
 }
 
 // record counts one response under its verdict.

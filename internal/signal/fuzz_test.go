@@ -1,0 +1,62 @@
+package signal
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeState hammers the FAS1 decoder with corrupt gossip: whatever
+// the bytes, DecodeState must return an error or a usable state, never
+// panic or allocate unboundedly. Anything that decodes must survive the
+// encode→decode round a receiving node performs when it re-publishes.
+func FuzzDecodeState(f *testing.F) {
+	eng := NewEngine(stateTestConfig())
+	feedEngine(eng, -1)
+	f.Add(eng.State().Encode())
+	f.Add(NewEngine(stateTestConfig()).State().Encode())
+	f.Add([]byte("FAS1"))
+	f.Add([]byte("FAS1\x01\x01\xff\xff\xff\xff"))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := DecodeState(b)
+		if err != nil {
+			return
+		}
+		// A decoded state must be mergeable with itself via a re-decoded
+		// copy and re-encodable without panicking.
+		enc := st.Encode()
+		again, err := DecodeState(enc)
+		if err != nil {
+			t.Fatalf("re-decode of decoded state failed: %v", err)
+		}
+		st.Merge(again)
+		_ = st.Encode()
+	})
+}
+
+// TestDecodeStateBoundsAllocation pins the decode-side allocation budgets:
+// a few hundred corrupt bytes claiming maximal geometry must be rejected
+// cheaply, not turned into hundreds of megabytes of window allocations.
+func TestDecodeStateBoundsAllocation(t *testing.T) {
+	b := []byte("FAS1")
+	b = binary.AppendUvarint(b, uint64(time.Minute)) // window
+	b = binary.AppendUvarint(b, 1<<20)               // buckets: max allowed
+	b = binary.AppendUvarint(b, 0)                   // observed
+	b = binary.AppendUvarint(b, 200)                 // 200 claimed window keys
+	for i := range 200 {
+		b = binary.AppendUvarint(b, 1)
+		b = append(b, byte('a'+i%26))
+		b = binary.AppendUvarint(b, 0)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := DecodeState(b); err == nil {
+			t.Fatal("amplifying geometry accepted")
+		}
+	})
+	// The exact count is irrelevant; what matters is that the decoder bails
+	// on the budget before the per-key window allocations start.
+	if allocs > 50 {
+		t.Fatalf("rejecting amplifying input cost %v allocations", allocs)
+	}
+}

@@ -311,6 +311,20 @@ func (s *State) Encode() []byte {
 	return b
 }
 
+// Decode-side allocation budgets. Every collection length in the wire form
+// is already bounded by the bytes remaining, but geometry fields (window
+// buckets, distinct precision) multiply: a small corrupt buffer could
+// otherwise claim maximal geometry for many keys and force hundreds of
+// megabytes of allocation before the inevitable truncation error surfaced.
+// The budgets cap what one decode may allocate regardless of claimed
+// geometry; legitimate encodings sit orders of magnitude below them.
+const (
+	maxDecodeWindowSlots  = 1 << 22
+	maxDecodeDistinctRegs = 1 << 24
+)
+
+var errDecodeBudget = errors.New("signal: state decode allocation budget exceeded")
+
 // DecodeState parses an Encode-produced buffer back into a State.
 func DecodeState(b []byte) (*State, error) {
 	if len(b) < len(stateMagic) || string(b[:len(stateMagic)]) != stateMagic {
@@ -327,6 +341,9 @@ func DecodeState(b []byte) (*State, error) {
 	}
 
 	nWindows := r.count()
+	if nWindows*st.buckets > maxDecodeWindowSlots {
+		return nil, errDecodeBudget
+	}
 	st.windows = make(map[string]*Window, nWindows)
 	for range nWindows {
 		key := r.string()
@@ -353,6 +370,9 @@ func DecodeState(b []byte) (*State, error) {
 			return nil, errors.New("signal: bad distinct precision")
 		}
 		nDistinct := r.count()
+		if nDistinct<<st.precision > maxDecodeDistinctRegs {
+			return nil, errDecodeBudget
+		}
 		st.distinct = make(map[string]*Distinct, nDistinct)
 		for range nDistinct {
 			key := r.string()
@@ -375,8 +395,17 @@ func DecodeState(b []byte) (*State, error) {
 	if r.byte() == 1 {
 		width := int(r.uvarint())
 		depth := int(r.uvarint())
-		if r.err != nil || width <= 0 || depth <= 0 || width*depth > 1<<26 {
+		// Bound each dimension before multiplying: the product of two
+		// attacker-supplied ints can overflow past the shape check.
+		if r.err != nil || width <= 0 || depth <= 0 ||
+			width > 1<<26 || depth > 1<<26 || width*depth > 1<<26 {
 			return nil, errors.New("signal: bad sketch shape")
+		}
+		// Every sketch cell costs at least one wire byte, so a shape the
+		// remaining bytes cannot back is corrupt — reject it before the
+		// rows are allocated.
+		if width*depth > len(r.b)-r.off {
+			return nil, errDecodeBudget
 		}
 		cm := NewCountMin(width, depth)
 		cm.total = r.uvarint()
@@ -396,7 +425,6 @@ func DecodeState(b []byte) (*State, error) {
 		if r.err != nil || k < 1 || k > 1<<20 {
 			return nil, errors.New("signal: bad topk capacity")
 		}
-		tk := NewTopK(k)
 		n := r.count()
 		entries := make([]TopEntry, 0, n)
 		for range n {
@@ -411,6 +439,10 @@ func DecodeState(b []byte) (*State, error) {
 		if len(entries) > k {
 			return nil, errors.New("signal: topk entries exceed capacity")
 		}
+		// Construct directly rather than via NewTopK: k is semantic
+		// capacity and must not size an allocation — rebuild sizes the
+		// table by the wire-backed entries that actually exist.
+		tk := &TopK{k: k}
 		tk.rebuild(entries)
 		st.topk = tk
 	}
