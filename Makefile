@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster partition
+.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster partition syndicate
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
 # monitors are concurrent), the chaos suite, the cluster suite, a
 # one-iteration benchmark compile+run, and the telemetry smoke test.
-check: vet build race chaos cluster partition bench-smoke obs-smoke
+check: vet build race chaos cluster partition syndicate bench-smoke obs-smoke
 
 # cluster runs the multi-node gate-fleet suite — routing, anti-entropy
 # replication and the worker/node golden determinism tests — under the
@@ -20,6 +20,14 @@ cluster:
 # curve, heal convergence).
 partition:
 	$(GO) test -race -count=1 -timeout 300s -run 'Partition|HTTPTransport|FaultTransport|SnapshotWire|FetchRetry|FetchTimeout|RoundBudget|Degraded' ./cmd/fraudsim ./internal/cluster
+
+# syndicate runs the E17 entity-linkage suites under the race detector:
+# the entitygraph package, the gate's entity layer, the detect arm
+# registry, and the coordinated-ring scenario goldens (worker-count
+# determinism, leak contrast, honest admit).
+syndicate:
+	$(GO) test -race -count=1 ./internal/entitygraph
+	$(GO) test -race -count=1 -run 'Syndicate|Entity|Arm|GraphFeeder' ./cmd/fraudsim ./internal/loadgen ./internal/httpgate ./internal/detect
 
 # obs-smoke boots the telemetry mux, scrapes /metrics and /healthz, and
 # fails if the exposition contains a single unparseable line.
@@ -46,7 +54,7 @@ race:
 # bench writes the full benchmark sweep (3 samples per benchmark, with
 # allocation stats) as machine-readable go-test JSON for regression
 # tracking across PRs. Override BENCH_OUT to keep older snapshots.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > $(BENCH_OUT)
 

@@ -10,6 +10,7 @@
 //	fraudsim -scenario loadsim  -loadworkers 8
 //	fraudsim -scenario clustersim
 //	fraudsim -scenario partition
+//	fraudsim -scenario syndicate
 //
 // The loadsim scenario is different in kind: instead of the in-process
 // simulation it boots a real httpgate-backed HTTP server and replays a
@@ -28,6 +29,14 @@
 // sweeps plus a healed network partition — to measure how the defence
 // degrades and recovers; see internal/cluster's HTTPTransport and
 // FaultTransport.
+//
+// The syndicate scenario replays a coordinated ring that shares a pool
+// of spoofed fingerprints, proxy exits and booking references, with every
+// identity paced under the per-identity rule threshold. It contrasts
+// volume rules alone — which leak the attack essentially whole — against
+// the same rules backed by the incremental entity-linkage graph, which
+// collapses the ring into one flagged component the gate's entity layer
+// then denies wholesale; see internal/entitygraph and internal/loadgen.
 //
 // All scenarios are deterministic per -seed (loadsim under its default
 // virtual pacing; -loadreal switches to wall-clock pacing). With -serve
@@ -93,7 +102,7 @@ type options struct {
 }
 
 func main() {
-	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim, clustersim, partition")
+	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim, clustersim, partition, syndicate")
 	days := flag.Int("days", 7, "attack duration in simulated days")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	defend := flag.Bool("defend", false, "run the adaptive defender")
@@ -178,6 +187,8 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return runClustersim(opts, stdout, stderr)
 	case "partition":
 		return runPartition(opts, stdout, stderr)
+	case "syndicate":
+		return runSyndicate(opts, stdout, stderr)
 	case "seatspin", "smspump", "manual", "mixed":
 	default:
 		return fmt.Errorf("unknown scenario %q", opts.scenario)

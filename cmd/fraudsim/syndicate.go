@@ -1,0 +1,256 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"funabuse/internal/entitygraph"
+	"funabuse/internal/httpgate"
+	"funabuse/internal/loadgen"
+	"funabuse/internal/metrics"
+	"funabuse/internal/obs"
+	"funabuse/internal/simclock"
+)
+
+// The syndicate scenario (experiment E17) replays one coordinated-ring
+// plan — a fleet sharing a pool of spoofed fingerprints, proxy exits and
+// booking references, every identity pacing itself under the per-identity
+// rule threshold — against two defence arms: volume rules alone, then the
+// same rules backed by the incremental entity-linkage graph. The headline
+// contrast is the leak rate: per-identity volume defences concede the
+// attack essentially whole, while the graph collapses the ring's
+// co-occurring identities into one flagged component and the gate's
+// entity layer shuts all of it down at once.
+
+// Syndicate defence tuning: the rule threshold sits well above any pooled
+// fingerprint's in-window volume (the ring's whole point), and the graph
+// flags components that braid at least three identity types across five
+// or more nodes with a few seconds of accrued weak signal.
+const (
+	syndicateRuleThreshold = 80
+	syndicateRuleWindow    = 20 * time.Second
+	syndicateEntityWeak    = 0.25
+)
+
+// syndicateGraphConfig is the entity-graph tuning of the graph arm.
+func syndicateGraphConfig() entitygraph.Config {
+	return entitygraph.Config{MinSize: 6, MinTypes: 3, FlagScore: 4}
+}
+
+// syndicateArm is one defence configuration the plan is replayed against.
+type syndicateArm struct {
+	name  string
+	graph bool
+}
+
+// syndicateArms are the two ends of the E17 comparison.
+var syndicateArms = []syndicateArm{
+	{name: "volume rules"},
+	{name: "volume + entity graph", graph: true},
+}
+
+// syndicateOutcome is one arm's measurements, joined for the report.
+type syndicateOutcome struct {
+	arm    syndicateArm
+	result *loadgen.Result
+	rules  []loadgen.Rule
+	stats  entitygraph.Stats
+}
+
+// runSyndicate replays the seeded coordinated-ring plan against each
+// defence arm on a live httpgate-backed server and reports the contrast
+// side by side. Virtual pacing (the default) makes the whole run
+// bit-deterministic per seed; -loadreal paces the same plan in wall time.
+func runSyndicate(opts options, stdout, stderr io.Writer) error {
+	start := loadsimEpoch
+	if opts.loadReal {
+		start = time.Now()
+	}
+	sc := loadgen.SyndicateScenario(opts.seed, start)
+	plan, err := loadgen.BuildPlan(sc)
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	if opts.telemetry != nil || opts.serve != "" {
+		reg = opts.telemetry
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		reg.Gauge("fraudsim_seed").Set(float64(opts.seed))
+		reg.Gauge("fraudsim_scenario_info",
+			obs.Label{Name: "scenario", Value: "syndicate"}).Set(1)
+		reg.Help("fraudsim_scenario_info", "Constant 1; the scenario label identifies the run.")
+	}
+	if opts.serve != "" {
+		ring := opts.traces
+		if ring == nil {
+			ring = obs.NewTraceRing(obs.DefaultTraceCapacity)
+		}
+		srv, err := serveTelemetry(opts.serve, reg, ring, stderr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
+	outcomes, err := syndicateOutcomes(opts, plan, reg, stderr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprint(stdout, syndicateReport(outcomes).String())
+
+	if opts.stayUp && opts.serve != "" {
+		waitForInterrupt(stderr)
+	}
+	return nil
+}
+
+// syndicateOutcomes replays the plan against every arm in order.
+func syndicateOutcomes(opts options, plan *loadgen.Plan, reg *obs.Registry, stderr io.Writer) ([]syndicateOutcome, error) {
+	outcomes := make([]syndicateOutcome, 0, len(syndicateArms))
+	for _, arm := range syndicateArms {
+		out, err := runSyndicateArm(opts, plan, arm, reg, stderr)
+		if err != nil {
+			return nil, fmt.Errorf("arm %q: %w", arm.name, err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, nil
+}
+
+// runSyndicateArm boots a fresh defended target for the arm, replays the
+// shared plan against it, and tears the target down. Both arms share the
+// volume-rule defender; the graph arm adds the entity graph, its request
+// feeder and the gate's entity layer on top.
+func runSyndicateArm(opts options, plan *loadgen.Plan, arm syndicateArm, reg *obs.Registry, stderr io.Writer) (syndicateOutcome, error) {
+	var manual *simclock.Manual
+	tcfg := loadgen.TargetConfig{
+		RuleThreshold: syndicateRuleThreshold,
+		RuleWindow:    syndicateRuleWindow,
+		RulePaths:     []string{loadgen.PathHold, loadgen.PathSMS},
+	}
+	if !opts.loadReal {
+		manual = simclock.NewManual(plan.Scenario.Start)
+		tcfg.Clock = manual
+	}
+	var graph *entitygraph.Graph
+	if arm.graph {
+		graph = entitygraph.New(syndicateGraphConfig())
+		tcfg.EntityGraph = graph
+		tcfg.EntityPaths = []string{loadgen.PathHold, loadgen.PathSMS}
+		tcfg.EntityWeak = syndicateEntityWeak
+	}
+	target, err := loadgen.StartTarget(tcfg)
+	if err != nil {
+		return syndicateOutcome{}, err
+	}
+	defer target.Close()
+	fmt.Fprintf(stderr, "fraudsim: syndicate arm %q driving %s (%d arrivals)\n",
+		arm.name, target.URL, len(plan.Arrivals))
+
+	runner, err := loadgen.NewRunner(loadgen.RunnerConfig{
+		Plan:      plan,
+		BaseURL:   target.URL,
+		Workers:   opts.loadWorkers,
+		Virtual:   manual,
+		Telemetry: reg,
+		Arm:       arm.name,
+	})
+	if err != nil {
+		return syndicateOutcome{}, err
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return syndicateOutcome{}, err
+	}
+	out := syndicateOutcome{arm: arm, result: res, rules: target.Deployer.Rules()}
+	if graph != nil {
+		out.stats = graph.Stats()
+	}
+	return out, nil
+}
+
+// syndicateReport renders the per-arm comparison. Every column replays
+// the same seeded plan, so differences are the defence configuration's.
+func syndicateReport(outcomes []syndicateOutcome) *metrics.Table {
+	headers := make([]string, 0, len(outcomes)+1)
+	headers = append(headers, "Metric")
+	for _, o := range outcomes {
+		headers = append(headers, o.arm.name)
+	}
+	t := metrics.NewTable("syndicate report", headers...)
+
+	row := func(label string, cell func(syndicateOutcome) string) {
+		cells := make([]string, 0, len(outcomes)+1)
+		cells = append(cells, label)
+		for _, o := range outcomes {
+			cells = append(cells, cell(o))
+		}
+		t.AddRow(cells...)
+	}
+
+	row("plan hash", func(o syndicateOutcome) string {
+		return fmt.Sprintf("%016x", o.result.PlanHash)
+	})
+	row("requests completed", func(o syndicateOutcome) string {
+		var done uint64
+		for _, c := range o.result.Classes {
+			done += c.Completed()
+		}
+		return metrics.FormatInt(int64(done))
+	})
+	row("volume rules deployed", func(o syndicateOutcome) string {
+		return metrics.FormatInt(int64(len(o.rules)))
+	})
+	row("entity denials", func(o syndicateOutcome) string {
+		var n uint64
+		for _, c := range o.result.Classes {
+			n += c.Denied[httpgate.ReasonEntity]
+		}
+		return metrics.FormatInt(int64(n))
+	})
+	row("graph nodes", func(o syndicateOutcome) string {
+		if !o.arm.graph {
+			return "n/a"
+		}
+		return metrics.FormatInt(int64(o.stats.Nodes))
+	})
+	row("graph components", func(o syndicateOutcome) string {
+		if !o.arm.graph {
+			return "n/a"
+		}
+		return metrics.FormatInt(int64(o.stats.Components))
+	})
+	row("flagged components", func(o syndicateOutcome) string {
+		if !o.arm.graph {
+			return "n/a"
+		}
+		return metrics.FormatInt(int64(o.stats.FlaggedComponents))
+	})
+	row("syndicate leak rate", func(o syndicateOutcome) string {
+		rate, ok := o.result.AbusiveLeakRate()
+		if !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", rate)
+	})
+	row("honest admit rate", func(o syndicateOutcome) string {
+		var admitted, done uint64
+		for _, c := range o.result.Classes {
+			if c.Kind.Abusive() {
+				continue
+			}
+			admitted += c.Admitted
+			done += c.Completed()
+		}
+		if done == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(admitted)/float64(done))
+	})
+	return t
+}

@@ -7,6 +7,7 @@ import (
 
 	"funabuse/internal/attack"
 	"funabuse/internal/detect"
+	"funabuse/internal/entitygraph"
 	"funabuse/internal/fingerprint"
 	"funabuse/internal/metrics"
 	"funabuse/internal/proxy"
@@ -176,36 +177,15 @@ func RunDetectionComparison(seed uint64) (DetectionResult, error) {
 		}
 	}
 
-	evaluate := func(name string, judge func(s *weblog.Session) bool) {
-		var score DetectorScore
-		score.Detector = name
-		var hit, total [classOther + 1]int
-		for _, s := range sessions {
-			cls := classOf(s)
-			total[cls]++
-			if judge(s) {
-				hit[cls]++
-			}
-		}
-		ratio := func(c sessionClass) float64 {
-			if total[c] == 0 {
-				return 0
-			}
-			return float64(hit[c]) / float64(total[c])
-		}
-		score.HumanFPR = ratio(classHuman)
-		score.ScraperRecall = ratio(classScraper)
-		score.NaiveSpinnerRecall = ratio(classNaiveSpinner)
-		score.SpoofedSpinnerRecall = ratio(classSpoofedSpinner)
-		score.PumperRecall = ratio(classPumper)
-		res.Scores = append(res.Scores, score)
-	}
+	// The detector families all sit behind the unified detect.Arm contract
+	// now; the experiment builds a registry in report order, feeds the
+	// traffic to the stateful arms once, then scores every arm with the
+	// same loop. Adding a detector family is one MustRegister call.
+	registry := detect.NewRegistry()
 
 	// 1. Classical volume rules.
-	rules := detect.DefaultVolumeRules()
-	evaluate("volume rules", func(s *weblog.Session) bool {
-		return rules.Judge(weblog.Extract(s)).Flagged
-	})
+	volume := detect.VolumeArm{Rules: detect.DefaultVolumeRules()}
+	registry.MustRegister(volume)
 
 	// 2. Supervised classifiers trained the way the literature trains them:
 	// on human-vs-scraper session labels (the labelled data an operator
@@ -224,39 +204,24 @@ func RunDetectionComparison(seed uint64) (DetectionResult, error) {
 		trainSet = append(trainSet, detect.Sample{X: weblog.Extract(s).Vector(), Y: y})
 	}
 	if lr, err := detect.TrainLogReg(env.RNG.Derive("lr"), trainSet, detect.DefaultLogRegConfig()); err == nil {
-		evaluate("logistic regression", func(s *weblog.Session) bool {
-			return lr.Judge(weblog.Extract(s).Vector()).Flagged
-		})
+		registry.MustRegister(detect.ClassifierArm{ArmName: "logistic regression", Model: lr})
 	}
 	if nb, err := detect.TrainNaiveBayes(trainSet); err == nil {
-		evaluate("naive bayes", func(s *weblog.Session) bool {
-			return nb.Judge(weblog.Extract(s).Vector()).Flagged
-		})
+		registry.MustRegister(detect.ClassifierArm{ArmName: "naive bayes", Model: nb})
 	}
 
-	// 3. Knowledge-based static fingerprint checks.
-	evaluate("fingerprint checks", func(s *weblog.Session) bool {
-		for _, r := range s.Requests {
-			if f, ok := env.App.FingerprintByHash(r.Fingerprint); ok {
-				if !fingerprint.Consistent(f) {
-					return true
-				}
-			}
-		}
-		return false
-	})
+	// 3. Knowledge-based static fingerprint checks: consistency only, the
+	// historical semantics of this row (artifact checks are a different
+	// detector).
+	fpRules := detect.NewFingerprintRules()
+	fpRules.CheckArtifacts = false
+	fpArm := detect.FingerprintArm{Rules: fpRules, Lookup: env.App.FingerprintByHash}
+	registry.MustRegister(fpArm)
 
 	// 4. Combined: volume OR fingerprint.
-	evaluate("volume + fingerprint", func(s *weblog.Session) bool {
-		if rules.Judge(weblog.Extract(s)).Flagged {
-			return true
-		}
-		for _, r := range s.Requests {
-			if f, ok := env.App.FingerprintByHash(r.Fingerprint); ok && !fingerprint.Consistent(f) {
-				return true
-			}
-		}
-		return false
+	registry.MustRegister(detect.AnyArm{
+		ArmName: "volume + fingerprint",
+		Members: []detect.Arm{volume, fpArm},
 	})
 
 	// 5. Streaming signals: the online monitor consumes the same traffic
@@ -270,17 +235,47 @@ func RunDetectionComparison(seed uint64) (DetectionResult, error) {
 		RateThreshold:     120,
 		DistinctThreshold: 8,
 	})
-	for _, r := range env.App.Log().Requests() {
-		monitor.Observe(r)
-	}
-	evaluate("streaming signals", func(s *weblog.Session) bool {
-		for _, r := range s.Requests {
-			if monitor.Flagged(detect.IdentityKey(r)) {
-				return true
+	registry.MustRegister(detect.StreamArm{Monitor: monitor})
+
+	// 6. The entity-linkage graph: sessions carrying weak evidence wire
+	// their fingerprints and exits into components, and a session is
+	// flagged when its entities sit in a component whose size, entity
+	// diversity and accumulated weak score cross the thresholds. This is
+	// the structural detector: each rotated exit contributes one near-zero
+	// signal, and the shared fingerprint hub adds them up.
+	graph := entitygraph.New(entitygraph.Config{
+		MinSize:   8,
+		MinTypes:  2,
+		FlagScore: 4,
+	})
+	registry.MustRegister(detect.NewEntityGraphArm(graph))
+
+	registry.Observe(env.App.Log().Requests(), sessions)
+
+	for _, arm := range registry.Arms() {
+		var score DetectorScore
+		score.Detector = arm.Name()
+		var hit, total [classOther + 1]int
+		for _, s := range sessions {
+			cls := classOf(s)
+			total[cls]++
+			if arm.Judge(s).Flagged {
+				hit[cls]++
 			}
 		}
-		return false
-	})
+		ratio := func(c sessionClass) float64 {
+			if total[c] == 0 {
+				return 0
+			}
+			return float64(hit[c]) / float64(total[c])
+		}
+		score.HumanFPR = ratio(classHuman)
+		score.ScraperRecall = ratio(classScraper)
+		score.NaiveSpinnerRecall = ratio(classNaiveSpinner)
+		score.SpoofedSpinnerRecall = ratio(classSpoofedSpinner)
+		score.PumperRecall = ratio(classPumper)
+		res.Scores = append(res.Scores, score)
+	}
 
 	return res, nil
 }

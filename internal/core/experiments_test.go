@@ -286,7 +286,7 @@ func TestDetectionComparisonShape(t *testing.T) {
 	for _, s := range res.Scores {
 		byName[s.Detector] = s
 	}
-	for _, name := range []string{"volume rules", "logistic regression", "naive bayes", "fingerprint checks", "volume + fingerprint", "streaming signals"} {
+	for _, name := range []string{"volume rules", "logistic regression", "naive bayes", "fingerprint checks", "volume + fingerprint", "streaming signals", "entity graph"} {
 		if _, ok := byName[name]; !ok {
 			t.Fatalf("missing detector %q", name)
 		}
@@ -333,6 +333,18 @@ func TestDetectionComparisonShape(t *testing.T) {
 	}
 	if st.HumanFPR > 0.02 {
 		t.Errorf("streaming signals human FPR %v", st.HumanFPR)
+	}
+	// Entity graph: the structural detector. Both spinners and the pumper
+	// funnel through shared fingerprints linked to rotating exits, so their
+	// components grow and accumulate weak score regardless of spoofing
+	// quality; the single-exit scraper builds no linkage structure and is
+	// someone else's job. Humans must stay clean.
+	eg := byName["entity graph"]
+	if eg.NaiveSpinnerRecall < 0.9 || eg.SpoofedSpinnerRecall < 0.9 || eg.PumperRecall < 0.9 {
+		t.Errorf("entity graph missed linkage classes: %+v", eg)
+	}
+	if eg.HumanFPR > 0.02 {
+		t.Errorf("entity graph human FPR %v", eg.HumanFPR)
 	}
 }
 

@@ -1,0 +1,291 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"funabuse/internal/booking"
+	"funabuse/internal/fingerprint"
+	"funabuse/internal/names"
+	"funabuse/internal/proxy"
+	"funabuse/internal/simrand"
+	"funabuse/internal/weblog"
+)
+
+var armT0 = time.Date(2023, time.March, 1, 9, 0, 0, 0, time.UTC)
+
+// browseSession is an unremarkable human journey.
+func browseSession(actorID string) *weblog.Session {
+	s := &weblog.Session{Key: "s-" + actorID}
+	paths := []string{"/", "/search", "/flights", "/search", "/booking/hold"}
+	for i, p := range paths {
+		s.Requests = append(s.Requests, weblog.Request{
+			Time: armT0.Add(time.Duration(i) * 20 * time.Second),
+			IP:   "198.51.100.7", Fingerprint: 0xabc, Cookie: "c-" + actorID,
+			Method: "GET", Path: p, Status: 200, ActorID: actorID,
+		})
+	}
+	return s
+}
+
+// pumpSession hammers one sensitive endpoint.
+func pumpSession(fp uint64, ip proxy.IP) *weblog.Session {
+	s := &weblog.Session{Key: "pump"}
+	for i := range 6 {
+		s.Requests = append(s.Requests, weblog.Request{
+			Time: armT0.Add(time.Duration(i) * time.Second),
+			IP:   ip, Fingerprint: fp,
+			Method: "POST", Path: "/checkin/boardingpass/sms", Status: 200,
+		})
+	}
+	return s
+}
+
+type stubArm struct {
+	name     string
+	verdict  Verdict
+	requests int
+	sessions int
+}
+
+func (a *stubArm) Name() string                   { return a.name }
+func (a *stubArm) Judge(*weblog.Session) Verdict  { return a.verdict }
+func (a *stubArm) ObserveRequest(weblog.Request)  { a.requests++ }
+func (a *stubArm) ObserveSession(*weblog.Session) { a.sessions++ }
+
+func TestRegistryOrderAndDuplicates(t *testing.T) {
+	r := NewRegistry(&stubArm{name: "a"}, &stubArm{name: "b"})
+	r.MustRegister(&stubArm{name: "c"})
+	var got []string
+	for _, a := range r.Arms() {
+		got = append(got, a.Name())
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" || r.Len() != 3 {
+		t.Fatalf("registration order lost: %v", got)
+	}
+	if err := r.Register(&stubArm{name: "b"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister(&stubArm{name: "a"})
+}
+
+func TestRegistryObserveDispatch(t *testing.T) {
+	a := &stubArm{name: "observer"}
+	r := NewRegistry(a)
+	sessions := []*weblog.Session{browseSession("h1"), browseSession("h2")}
+	var requests []weblog.Request
+	for _, s := range sessions {
+		requests = append(requests, s.Requests...)
+	}
+	r.Observe(requests, sessions)
+	if a.requests != len(requests) || a.sessions != len(sessions) {
+		t.Fatalf("dispatch miscounted: %d requests %d sessions", a.requests, a.sessions)
+	}
+}
+
+func TestVolumeAndNavGraphArmsMatchAdapters(t *testing.T) {
+	s := browseSession("h1")
+	va := VolumeArm{Rules: DefaultVolumeRules()}
+	if got, want := va.Judge(s), va.Rules.Judge(weblog.Extract(s)); got != want {
+		t.Fatalf("VolumeArm diverges from VolumeRules.Judge: %+v vs %+v", got, want)
+	}
+	ga := NavGraphArm{Rules: GraphRules{}}
+	if got, want := ga.Judge(s), ga.Rules.JudgeSession(s); got != want {
+		t.Fatalf("NavGraphArm diverges from GraphRules.JudgeSession: %+v vs %+v", got, want)
+	}
+}
+
+func TestFingerprintArm(t *testing.T) {
+	rules := NewFingerprintRules()
+	rules.CheckConsistency = false
+	prints := map[uint64]fingerprint.Fingerprint{
+		7: {Webdriver: true},
+	}
+	arm := FingerprintArm{
+		Rules: rules,
+		Lookup: func(hash uint64) (fingerprint.Fingerprint, bool) {
+			f, ok := prints[hash]
+			return f, ok
+		},
+	}
+	bot := pumpSession(7, "203.0.113.1")
+	if v := arm.Judge(bot); !v.Flagged || v.Reason != "fp-artifact" {
+		t.Fatalf("webdriver fingerprint not flagged: %+v", v)
+	}
+	// Unknown hashes are skipped, not flagged.
+	if v := arm.Judge(pumpSession(8, "203.0.113.1")); v.Flagged {
+		t.Fatalf("unknown fingerprint flagged: %+v", v)
+	}
+}
+
+func TestVelocityArmStickyHotKeys(t *testing.T) {
+	arm := NewVelocityArm("path velocity", NewVelocity(time.Minute, 3), VelocityPathKey)
+	early := &weblog.Session{Requests: []weblog.Request{{
+		Time: armT0, Path: "/checkin/boardingpass/sms",
+	}}}
+	if v := arm.Judge(early); v.Flagged {
+		t.Fatal("flagged before any key ran hot")
+	}
+	hot := pumpSession(1, "203.0.113.5")
+	for _, r := range hot.Requests {
+		arm.ObserveRequest(r)
+	}
+	// The window has long forgotten by now, but the hot set is sticky:
+	// the early session judges flagged post hoc.
+	if v := arm.Judge(early); !v.Flagged || v.Reason != "velocity:/checkin/boardingpass/sms" {
+		t.Fatalf("hot key not sticky: %+v", v)
+	}
+	if v := arm.Judge(browseSession("h1")); v.Flagged {
+		t.Fatalf("cold-path session flagged: %+v", v)
+	}
+}
+
+func TestNamePatternArm(t *testing.T) {
+	pool := names.NewPool(simrand.New(1), 4)
+	var records []booking.Record
+	for i := range 10 {
+		records = append(records, booking.Record{
+			Time: armT0, Flight: "B200", NiP: 1,
+			Outcome: booking.OutcomeAccepted, ActorID: "bot-1",
+			HoldID:     booking.HoldID(i + 1),
+			Passengers: []names.Identity{pool.RotatingBirthdate()},
+		})
+	}
+	arm := NewNamePatternArm(NewNamePatternDetector(NamePatternConfig{}), records)
+	if len(arm.Findings()) == 0 {
+		t.Fatal("rotating-birthdate journal produced no findings")
+	}
+	if v := arm.Judge(browseSession("bot-1")); !v.Flagged || v.Reason != "name-pattern" {
+		t.Fatalf("suspect actor not flagged: %+v", v)
+	}
+	if v := arm.Judge(browseSession("human-1")); v.Flagged {
+		t.Fatalf("clean actor flagged: %+v", v)
+	}
+}
+
+func TestNiPDriftArm(t *testing.T) {
+	baseline := journalWithShares(5000, typicalWeek)
+	// Attack week: one actor concentrates NiP=6 holds.
+	attacked := []float64{0.30, 0.17, 0.05, 0.03, 0.02, 0.42, 0.01}
+	c := simrand.NewCategorical(attacked)
+	r := simrand.New(7)
+	var window []booking.Record
+	for i := range 2000 {
+		nip := c.Draw(r) + 1
+		actor := "human-" + string(rune('a'+i%20))
+		if nip == 6 {
+			actor = "pump-1"
+		}
+		window = append(window, booking.Record{
+			HoldID: booking.HoldID(i + 1), NiP: nip,
+			Outcome: booking.OutcomeAccepted, ActorID: actor,
+		})
+	}
+	arm := NewNiPDriftArm(NewNiPDrift(baseline, 7), window, 10)
+	if !arm.Report().Anomalous() {
+		t.Fatalf("attack window not anomalous: %+v", arm.Report())
+	}
+	if v := arm.Judge(browseSession("pump-1")); !v.Flagged || v.Reason != "nip-drift" {
+		t.Fatalf("concentrating actor not flagged: %+v", v)
+	}
+	if v := arm.Judge(browseSession("human-a")); v.Flagged {
+		t.Fatalf("background actor flagged: %+v", v)
+	}
+
+	// A calm window yields no suspects at all.
+	calm := NewNiPDriftArm(NewNiPDrift(baseline, 7), journalWithShares(2000, typicalWeek), 10)
+	if v := calm.Judge(browseSession("pump-1")); v.Flagged {
+		t.Fatalf("calm window flagged an actor: %+v", v)
+	}
+}
+
+func TestAnyArmFirstFlagWins(t *testing.T) {
+	a := AnyArm{ArmName: "combo", Members: []Arm{
+		&stubArm{name: "cold"},
+		&stubArm{name: "hot", verdict: Verdict{Flagged: true, Score: 0.9, Reason: "hot"}},
+		&stubArm{name: "hotter", verdict: Verdict{Flagged: true, Score: 1, Reason: "hotter"}},
+	}}
+	if a.Name() != "combo" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	if v := a.Judge(&weblog.Session{}); !v.Flagged || v.Reason != "hot" {
+		t.Fatalf("first flagging member should win: %+v", v)
+	}
+	cold := AnyArm{ArmName: "cold", Members: []Arm{&stubArm{name: "c1"}, &stubArm{name: "c2"}}}
+	if v := cold.Judge(&weblog.Session{}); v.Flagged {
+		t.Fatalf("no member flagged but combo did: %+v", v)
+	}
+}
+
+func TestWeakSignal(t *testing.T) {
+	if w := WeakSignal(browseSession("h1")); w != 0 {
+		t.Fatalf("browsing session should carry no weak signal, got %v", w)
+	}
+	if w := WeakSignal(pumpSession(1, "203.0.113.9")); w < 0.2 {
+		t.Fatalf("sensitive-POST hammering session should score, got %v", w)
+	}
+	if w := WeakSignal(&weblog.Session{}); w != 0 {
+		t.Fatalf("empty session scored %v", w)
+	}
+}
+
+func TestStreamMonitorJudgesArms(t *testing.T) {
+	arm := NewVelocityArm("path velocity", NewVelocity(time.Minute, 3), VelocityPathKey)
+	m := NewStreamMonitor(StreamConfig{
+		Arms: NewRegistry(arm),
+	})
+	var flaggedAt int
+	for i := range 6 {
+		r := weblog.Request{
+			Time: armT0.Add(time.Duration(i) * time.Second),
+			IP:   "203.0.113.2", Fingerprint: 0xbeef,
+			Method: "POST", Path: "/checkin/boardingpass/sms",
+		}
+		if m.Observe(r) && flaggedAt == 0 {
+			flaggedAt = i + 1
+		}
+	}
+	key := IdentityKey(weblog.Request{Fingerprint: 0xbeef})
+	if !m.Flagged(key) {
+		t.Fatal("arm-judged identity not flagged")
+	}
+	if sig := m.FlaggedSignal(key); sig != "arm:path velocity" {
+		t.Fatalf("signal = %q, want arm:path velocity", sig)
+	}
+	if flaggedAt == 0 {
+		t.Fatal("Observe never reported the flag")
+	}
+	// The buffered session is released once the identity flags.
+	if st := m.Stats(); st.ArmSessions != 0 {
+		t.Fatalf("flagged identity still buffered: %+v", st)
+	}
+	alerts := m.Alerts()
+	if len(alerts) != 1 || alerts[0].Signal != "arm:path velocity" {
+		t.Fatalf("alert journal = %+v", alerts)
+	}
+}
+
+func TestStreamMonitorArmSessionCaps(t *testing.T) {
+	m := NewStreamMonitor(StreamConfig{
+		Arms:             NewRegistry(&stubArm{name: "never"}),
+		MaxArmSession:    4,
+		MaxArmIdentities: 2,
+	})
+	for i := range 10 {
+		for fp := uint64(1); fp <= 3; fp++ {
+			m.Observe(weblog.Request{
+				Time: armT0.Add(time.Duration(i) * time.Second),
+				IP:   "1.1.1.1", Fingerprint: fp, Path: "/search",
+			})
+		}
+	}
+	st := m.Stats()
+	if st.ArmSessions != 2 {
+		t.Fatalf("identity cap not applied: %+v", st)
+	}
+}

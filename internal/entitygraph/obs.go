@@ -1,0 +1,31 @@
+package entitygraph
+
+import "funabuse/internal/obs"
+
+// Metric names exposed by the graph's collector.
+const (
+	MetricNodes        = "entitygraph_nodes"
+	MetricEdges        = "entitygraph_edges"
+	MetricComponents   = "entitygraph_components"
+	MetricFlagged      = "entitygraph_flagged_components"
+	MetricObservations = "entitygraph_observations_total"
+	MetricEvicted      = "entitygraph_evicted_nodes_total"
+)
+
+// Collector exposes the graph on the obs snapshot contract, so a gate
+// deployment scrapes linkage-graph pressure (node/edge occupancy,
+// eviction churn) and detections (flagged components) alongside the
+// gate's own families.
+func (g *Graph) Collector() obs.Collector {
+	return obs.CollectorFunc(func(dst []obs.Sample) []obs.Sample {
+		st := g.Stats()
+		return append(dst,
+			obs.Sample{Name: MetricNodes, Value: float64(st.Nodes)},
+			obs.Sample{Name: MetricEdges, Value: float64(st.Edges)},
+			obs.Sample{Name: MetricComponents, Value: float64(st.Components)},
+			obs.Sample{Name: MetricFlagged, Value: float64(st.FlaggedComponents)},
+			obs.Sample{Name: MetricObservations, Value: float64(st.Observations)},
+			obs.Sample{Name: MetricEvicted, Value: float64(st.Evicted)},
+		)
+	})
+}

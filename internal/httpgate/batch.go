@@ -164,11 +164,12 @@ func (g *Gate) batchStep(st *layerStep, reqs []Request, out []Decision, pending,
 	}
 
 	switch st.kind {
-	case stepBlocklist:
-		// The shared BlockList synchronises internally and each request
-		// probes distinct identities, so bulk grouping buys nothing —
-		// but the round still shares the breaker snapshot above and
-		// records one aggregated outcome below.
+	case stepBlocklist, stepEntity:
+		// The shared BlockList (and the entity graph, same per-identity
+		// probe shape) synchronises internally and each request probes
+		// distinct identities, so bulk grouping buys nothing — but the
+		// round still shares the breaker snapshot above and records one
+		// aggregated outcome below.
 		ok := true
 		for _, i := range pending {
 			ctx.r, ctx.info = reqs[i].R, reqs[i].Info

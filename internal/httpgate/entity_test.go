@@ -1,0 +1,189 @@
+package httpgate
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"funabuse/internal/entitygraph"
+	"funabuse/internal/obs"
+	"funabuse/internal/resilience"
+	"funabuse/internal/simclock"
+)
+
+// flaggedGraph builds a graph with one flagged component containing
+// fp:abc, ip:203.0.113.66 and ck:syn-1.
+func flaggedGraph(t *testing.T) *entitygraph.Graph {
+	t.Helper()
+	g := entitygraph.New(entitygraph.Config{MinSize: 3, MinTypes: 2, FlagScore: 1})
+	g.Observe([]string{"fp:abc", "ip:203.0.113.66", "ck:syn-1"}, 2)
+	if !g.Flagged("fp:abc") {
+		t.Fatal("setup: component not flagged")
+	}
+	return g
+}
+
+func TestEntityLayerDeniesFlaggedIdentities(t *testing.T) {
+	g := New(Config{
+		Clock:    simclock.NewManual(t0),
+		Entities: flaggedGraph(t),
+	})
+	r := httptest.NewRequest(http.MethodPost, "/booking/hold", nil)
+
+	cases := []struct {
+		name string
+		info ClientInfo
+		deny bool
+	}{
+		{"flagged fingerprint", ClientInfo{IP: "198.51.100.1", Fingerprint: 0xabc, HasFingerprint: true}, true},
+		{"flagged ip", ClientInfo{IP: "203.0.113.66"}, true},
+		{"flagged client key", ClientInfo{IP: "198.51.100.1", ClientKey: "syn-1"}, true},
+		{"clean client", ClientInfo{IP: "198.51.100.1", Fingerprint: 0xdef, HasFingerprint: true, ClientKey: "user-1"}, false},
+	}
+	for _, tc := range cases {
+		d := g.Decide(r, tc.info)
+		if tc.deny && (d.Reason != ReasonEntity || d.Status != http.StatusForbidden) {
+			t.Errorf("%s: got %+v, want entity-graph 403", tc.name, d)
+		}
+		if !tc.deny && d.Denied() {
+			t.Errorf("%s: denied %+v", tc.name, d)
+		}
+	}
+}
+
+func TestEntityLayerWrapSetsReasonHeader(t *testing.T) {
+	g := New(Config{
+		Clock:    simclock.NewManual(t0),
+		Entities: flaggedGraph(t),
+	})
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	r := httptest.NewRequest(http.MethodPost, "/booking/hold", nil)
+	r.RemoteAddr = "203.0.113.66:9999"
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusForbidden || w.Header().Get(ReasonHeader) != ReasonEntity {
+		t.Fatalf("code %d reason %q", w.Code, w.Header().Get(ReasonHeader))
+	}
+}
+
+func TestEntityCheckCustomAndPolicies(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/booking/hold", nil)
+	info := ClientInfo{IP: "198.51.100.1"}
+
+	// A healthy custom check flags by key.
+	g := New(Config{
+		Clock: simclock.NewManual(t0),
+		EntityCheck: func(key string, now time.Time) (bool, error) {
+			return key == "ip:198.51.100.1", nil
+		},
+	})
+	if d := g.Decide(r, info); d.Reason != ReasonEntity {
+		t.Fatalf("custom check miss: %+v", d)
+	}
+
+	// A failing check resolves by policy: fail-open admits degraded...
+	boom := func(string, time.Time) (bool, error) { return false, errors.New("graph service down") }
+	open := New(Config{
+		Clock:       simclock.NewManual(t0),
+		EntityCheck: boom,
+		Resilience:  &ResilienceConfig{},
+	})
+	if d := open.Decide(r, info); d.Denied() || d.Degraded&(1<<LayerEntity) == 0 {
+		t.Fatalf("fail-open entity layer: %+v", d)
+	}
+	// ...fail-closed denies.
+	closed := New(Config{
+		Clock:       simclock.NewManual(t0),
+		EntityCheck: boom,
+		Resilience:  &ResilienceConfig{Entity: resilience.FailClosed},
+	})
+	if d := closed.Decide(r, info); d.Reason != ReasonEntity {
+		t.Fatalf("fail-closed entity layer: %+v", d)
+	}
+	if closed.Breaker(LayerEntity) == nil {
+		t.Fatal("entity layer got no breaker")
+	}
+}
+
+func TestEntityBatchMatchesSequential(t *testing.T) {
+	build := func() *Gate {
+		return New(Config{
+			Clock:      simclock.NewManual(t0),
+			Entities:   flaggedGraph(t),
+			PathLimit:  1 << 30,
+			PathWindow: time.Hour,
+		}, WithResilience(ResilienceConfig{}))
+	}
+	r := httptest.NewRequest(http.MethodPost, "/booking/hold", nil)
+	infos := []ClientInfo{
+		{IP: "198.51.100.1", Fingerprint: 0xabc, HasFingerprint: true},
+		{IP: "198.51.100.2", Fingerprint: 0xdef, HasFingerprint: true},
+		{IP: "203.0.113.66"},
+		{IP: "198.51.100.3", ClientKey: "syn-1"},
+		{IP: "198.51.100.4", ClientKey: "user-9"},
+	}
+	var reqs []Request
+	for _, info := range infos {
+		reqs = append(reqs, Request{R: r, Info: info})
+	}
+	batch := build().DecideBatch(reqs, nil)
+	seq := build()
+	for i, req := range reqs {
+		want := seq.Decide(req.R, req.Info)
+		if batch[i] != want {
+			t.Fatalf("request %d: batch %+v vs sequential %+v", i, batch[i], want)
+		}
+	}
+}
+
+// TestEntityDecideZeroAllocs extends the zero-alloc acceptance criterion
+// to a gate with the entity layer enabled: the admitted hot path — now
+// including flagged-component lookups for fingerprint, IP and client key —
+// still allocates nothing.
+func TestEntityDecideZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	r := httptest.NewRequest(http.MethodGet, "/booking/1", nil)
+	info := ClientInfo{IP: "203.0.113.7", ClientKey: "user-1", Fingerprint: 0xabc, HasFingerprint: true}
+	entityGate.Decide(r, info) // warm limiter keys
+	if avg := testing.AllocsPerRun(512, func() {
+		if d := entityGate.Decide(r, info); d.Reason != "" || d.Degraded != 0 {
+			t.Fatalf("reason %q mask %d", d.Reason, d.Degraded)
+		}
+	}); avg != 0 {
+		t.Fatalf("entity-layer Decide allocates %v/op, want 0", avg)
+	}
+}
+
+// entityGate mirrors instrumentedGate with the entity layer enabled. The
+// graph holds a flagged component the probed identities do not touch, so
+// lookups walk the real read path.
+var entityGate = New(allocGateConfig,
+	WithClock(simclock.NewManual(t0)),
+	WithResilience(ResilienceConfig{}),
+	WithTelemetry(obs.NewRegistry()),
+	WithTraces(obs.NewTraceRing(1024)),
+	WithEntities(func() *entitygraph.Graph {
+		g := entitygraph.New(entitygraph.Config{MinSize: 3, MinTypes: 2, FlagScore: 1})
+		g.Observe([]string{"fp:dead", "ip:192.0.2.1", "ck:syn-9"}, 2)
+		return g
+	}()))
+
+// BenchmarkGateDecideEntity is the instrumented admitted path with the
+// entity-linkage layer enabled — three flagged-component lookups on top of
+// BenchmarkGateDecideInstrumented. Must stay 0 allocs/op.
+func BenchmarkGateDecideEntity(b *testing.B) {
+	reqs, infos := benchInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			entityGate.Decide(reqs[i%8], infos[i%512])
+			i++
+		}
+	})
+}

@@ -80,6 +80,9 @@ const (
 // Denial reasons reported in ReasonHeader.
 const (
 	ReasonBlocklist = "blocklist"
+	// ReasonEntity is reported when one of the request's identities sits
+	// in a flagged entity-linkage component.
+	ReasonEntity    = "entity-graph"
 	ReasonChallenge = "challenge"
 	ReasonPathLimit = "rate-limit-path"
 	ReasonProfile   = "rate-limit-profile"
@@ -96,6 +99,7 @@ type Layer int
 // Pipeline layers, in evaluation order.
 const (
 	LayerBlocklist Layer = iota
+	LayerEntity
 	LayerChallenge
 	LayerProfile
 	LayerResource
@@ -109,6 +113,8 @@ func (l Layer) String() string {
 	switch l {
 	case LayerBlocklist:
 		return "blocklist"
+	case LayerEntity:
+		return "entity"
 	case LayerChallenge:
 		return "challenge"
 	case LayerProfile:
@@ -181,6 +187,15 @@ type Request struct {
 // return errors, which the layer's breaker and policy absorb.
 type CheckFunc func(key string, now time.Time) (bool, error)
 
+// EntityLookup answers whether an entity key belongs to a flagged
+// linkage component. The gate probes it with byte keys assembled in
+// per-decision scratch, so implementations must not retain the slice;
+// entitygraph.Graph's FlaggedBytes is the canonical implementation. The
+// interface keeps httpgate decoupled from the graph package.
+type EntityLookup interface {
+	FlaggedBytes(key []byte) bool
+}
+
 // ResilienceConfig wires per-layer circuit breakers and fail policies
 // into a Gate.
 type ResilienceConfig struct {
@@ -191,6 +206,7 @@ type ResilienceConfig struct {
 	// unavailable layer; FailClosed denies the request instead. See
 	// DESIGN.md for guidance on choosing per layer.
 	Blocklist resilience.Policy
+	Entity    resilience.Policy
 	Challenge resilience.Policy
 	Profile   resilience.Policy
 	Resource  resilience.Policy
@@ -212,6 +228,17 @@ type Config struct {
 	// hook for remote deny lists and fault injection. Keys arrive
 	// prefixed ("fp:", "ip:", "ck:") exactly as with Blocks.
 	BlocklistFunc CheckFunc
+	// Entities, when non-nil, enables the entity-linkage layer: each of
+	// the request's identity keys is looked up against flagged graph
+	// components, and a hit denies with 403/entity-graph. The hot path
+	// only reads the graph — feeding observations into it belongs off the
+	// serving path (an OnDecision hook, a log tail). entitygraph.Graph
+	// satisfies this.
+	Entities EntityLookup
+	// EntityCheck, when non-nil, replaces Entities as the lookup — the
+	// hook for remote graph services and fault injection. Keys arrive
+	// prefixed ("fp:", "ip:", "ck:") exactly as with Entities.
+	EntityCheck CheckFunc
 	// Challenge, when non-nil, is invoked for every admitted-so-far
 	// request; returning false denies with 403/challenge. Wire it to a
 	// CAPTCHA or proof-of-work verifier.
@@ -287,6 +314,7 @@ type stepKind uint8
 
 const (
 	stepBlocklist stepKind = iota
+	stepEntity
 	stepChallenge
 	stepProfile
 	stepResource
@@ -373,6 +401,7 @@ type Gate struct {
 	// Built-in layer state; nil when the layer is disabled or replaced by
 	// a custom CheckFunc. The built-ins are the byte-keyed fast path.
 	blocks   *mitigate.BlockList
+	entities EntityLookup
 	path     *signal.Limiter
 	profile  *signal.Limiter
 	resource *signal.Limiter
@@ -380,6 +409,7 @@ type Gate struct {
 	// Custom fallible layer calls; nil means the built-in (or nothing)
 	// serves the layer.
 	blockCheck    CheckFunc
+	entityCheck   CheckFunc
 	challenge     func(r *http.Request, info ClientInfo) (bool, error)
 	pathCheck     CheckFunc
 	profileCheck  CheckFunc
@@ -418,6 +448,10 @@ func New(cfg Config, opts ...Option) *Gate {
 	g.blockCheck = cfg.BlocklistFunc
 	if g.blockCheck == nil && cfg.Blocks != nil {
 		g.blocks = cfg.Blocks
+	}
+	g.entityCheck = cfg.EntityCheck
+	if g.entityCheck == nil && cfg.Entities != nil {
+		g.entities = cfg.Entities
 	}
 	g.challenge = cfg.ChallengeFunc
 	if g.challenge == nil && cfg.Challenge != nil {
@@ -462,6 +496,7 @@ func New(cfg Config, opts ...Option) *Gate {
 	if rc := cfg.Resilience; rc != nil {
 		policies := [numLayers]resilience.Policy{
 			LayerBlocklist: rc.Blocklist,
+			LayerEntity:    rc.Entity,
 			LayerChallenge: rc.Challenge,
 			LayerProfile:   rc.Profile,
 			LayerResource:  rc.Resource,
@@ -491,6 +526,13 @@ func (g *Gate) buildSteps() {
 			kind: stepBlocklist, layer: LayerBlocklist, passVal: false,
 			builtin: g.blocks != nil, call: callBlocklist,
 			reason: ReasonBlocklist, status: http.StatusForbidden,
+		})
+	}
+	if g.entities != nil || g.entityCheck != nil {
+		g.steps = append(g.steps, layerStep{
+			kind: stepEntity, layer: LayerEntity, passVal: false,
+			builtin: g.entities != nil, call: callEntity,
+			reason: ReasonEntity, status: http.StatusForbidden,
 		})
 	}
 	if g.challenge != nil {
@@ -735,6 +777,54 @@ func callBlocklist(g *Gate, ctx *decisionCtx) (bool, error) {
 	}
 	if info.ClientKey != "" {
 		return g.blockCheck("ck:"+info.ClientKey, ctx.now)
+	}
+	return false, nil
+}
+
+// callEntity screens the request's identities against the flagged
+// entity-linkage components, stopping at the first hit or error. Keys are
+// assembled exactly as for the blocklist: byte keys in the context's
+// scratch for the in-process graph, prefixed strings for a custom
+// EntityCheck.
+func callEntity(g *Gate, ctx *decisionCtx) (bool, error) {
+	info := &ctx.info
+	if g.entities != nil {
+		if info.HasFingerprint {
+			buf := append(ctx.buf[:0], "fp:"...)
+			buf = strconv.AppendUint(buf, info.Fingerprint, 16)
+			ctx.buf = buf
+			if g.entities.FlaggedBytes(buf) {
+				return true, nil
+			}
+		}
+		buf := append(ctx.buf[:0], "ip:"...)
+		buf = append(buf, info.IP...)
+		ctx.buf = buf
+		if g.entities.FlaggedBytes(buf) {
+			return true, nil
+		}
+		if info.ClientKey != "" {
+			buf = append(ctx.buf[:0], "ck:"...)
+			buf = append(buf, info.ClientKey...)
+			ctx.buf = buf
+			if g.entities.FlaggedBytes(buf) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if info.HasFingerprint {
+		flagged, err := g.entityCheck("fp:"+strconv.FormatUint(info.Fingerprint, 16), ctx.now)
+		if flagged || err != nil {
+			return flagged, err
+		}
+	}
+	flagged, err := g.entityCheck("ip:"+info.IP, ctx.now)
+	if flagged || err != nil {
+		return flagged, err
+	}
+	if info.ClientKey != "" {
+		return g.entityCheck("ck:"+info.ClientKey, ctx.now)
 	}
 	return false, nil
 }

@@ -49,6 +49,13 @@ func WithTraces(ring *obs.TraceRing) Option {
 	return func(cfg *Config) { cfg.traces = ring }
 }
 
+// WithEntities enables the entity-linkage layer over lookup (overrides
+// Config.Entities): requests whose fingerprint, IP or client key sits in
+// a flagged linkage component are denied with 403/entity-graph.
+func WithEntities(lookup EntityLookup) Option {
+	return func(cfg *Config) { cfg.Entities = lookup }
+}
+
 // WithShards sets the lock-stripe count for each rate-limiting layer
 // (overrides Config.Shards).
 func WithShards(n int) Option {

@@ -38,7 +38,7 @@ type gateTelemetry struct {
 // the per-reason denial counters exist (at zero) from the first scrape.
 // Order is the reasonIndex slot order.
 var allReasons = [...]string{
-	ReasonBlocklist, ReasonChallenge, ReasonProfile,
+	ReasonBlocklist, ReasonEntity, ReasonChallenge, ReasonProfile,
 	ReasonResource, ReasonPathLimit, ReasonDecision,
 }
 
@@ -48,16 +48,18 @@ func reasonIndex(reason string) int {
 	switch reason {
 	case ReasonBlocklist:
 		return 0
-	case ReasonChallenge:
+	case ReasonEntity:
 		return 1
-	case ReasonProfile:
+	case ReasonChallenge:
 		return 2
-	case ReasonResource:
+	case ReasonProfile:
 		return 3
-	case ReasonPathLimit:
+	case ReasonResource:
 		return 4
-	case ReasonDecision:
+	case ReasonPathLimit:
 		return 5
+	case ReasonDecision:
+		return 6
 	default:
 		return -1
 	}

@@ -40,6 +40,7 @@ type client struct {
 	// Attacker state.
 	rng          *simrand.RNG
 	rot          *fingerprint.Rotator
+	pool         *identityPool
 	reactionMean time.Duration
 	// noticedAt is the first blocklist denial against the current
 	// fingerprint; pendingAt is the scheduled instant the rotated
@@ -49,15 +50,60 @@ type client struct {
 	rotations []Rotation
 }
 
+// Syndicate identity-pool sizes: small enough that the ring's resources
+// visibly overlap, large enough that each member's per-fingerprint rate
+// stays a fraction of the class total.
+const (
+	syndicatePoolFPs = 6
+	syndicatePoolIPs = 8
+)
+
+// identityPool is the shared resource set of a Syndicate class: every
+// client in the fleet draws each request's fingerprint and exit address
+// from the same pool, so no identity concentrates volume while all of
+// them co-occur. The pool is immutable after construction.
+type identityPool struct {
+	fps []uint64
+	ips []string
+}
+
+// newIdentityPool draws the class's shared spoofed fingerprints and proxy
+// exits from one class-level stream, so the pool is identical no matter
+// how the fleet is sized or scheduled.
+func newIdentityPool(rng *simrand.RNG) *identityPool {
+	p := &identityPool{}
+	rot := fingerprint.NewRotator(rng.Derive("rot"),
+		fingerprint.NewGenerator(rng.Derive("gen")),
+		fingerprint.WithSpoofing())
+	for range syndicatePoolFPs {
+		p.fps = append(p.fps, rot.Rotate().Hash())
+	}
+	for range syndicatePoolIPs {
+		p.ips = append(p.ips, fmt.Sprintf("203.0.%d.%d", rng.Intn(114), 1+rng.Intn(250)))
+	}
+	return p
+}
+
 // newFleet builds the class's clients, each with its own derived stream
 // so fleets are independent of draw order elsewhere.
 func newFleet(root *simrand.RNG, ci int, c Class) []*client {
+	var pool *identityPool
+	if c.Kind == Syndicate {
+		pool = newIdentityPool(root.Derive("loadgen:pool:" + c.Name))
+	}
 	fleet := make([]*client, c.Clients)
 	for i := range fleet {
 		id := fmt.Sprintf("%s-%d", c.Name, i)
 		rng := root.Derive("loadgen:client:" + id)
 		cl := &client{kind: c.Kind, id: id, rng: rng}
-		if c.Kind.Abusive() {
+		if c.Kind == Syndicate {
+			// Ring member: a stable session but a pooled fingerprint and
+			// exit, redrawn per request by identity().
+			cl.pool = pool
+			cl.fp = pool.fps[i%len(pool.fps)]
+			cl.ip = pool.ips[i%len(pool.ips)]
+			cl.sid = id
+		} else if c.Kind.Abusive() {
 			// Spoof-mode rotation: each new identity is a fresh draw from
 			// the organic population with automation artifacts stripped,
 			// the evasion FP-Inconsistent documents.
@@ -95,7 +141,12 @@ func (c *client) drawProxyIP() string {
 func (c *client) identity(now time.Time) (fpHex, sid, ip string, rotated bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.kind.Abusive() {
+	if c.pool != nil {
+		// Syndicate draw: a fresh pooled fingerprint/exit combination per
+		// request. No rotation machinery — dilution is the whole evasion.
+		c.fp = c.pool.fps[c.rng.Intn(len(c.pool.fps))]
+		c.ip = c.pool.ips[c.rng.Intn(len(c.pool.ips))]
+	} else if c.kind.Abusive() {
 		if !c.pendingAt.IsZero() && !now.Before(c.pendingAt) {
 			old := c.fp
 			f := c.rot.Rotate()

@@ -10,3 +10,8 @@ const (
 	goldenSMSPump  = 399
 	goldenPlanHash = uint64(0xdcf47509ba440551)
 )
+
+// Seed-1 golden schedule hash for SyndicateScenario, pinned by
+// TestSyndicateScenario. Re-derive with:
+// go test ./internal/loadgen -run SyndicateScenario -v
+const goldenSyndicateHash = uint64(0x6e3150ab7b51bdbc)

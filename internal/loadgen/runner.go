@@ -34,6 +34,7 @@ const verdictAdmit = "admit"
 var knownVerdicts = []string{
 	verdictAdmit,
 	httpgate.ReasonBlocklist,
+	httpgate.ReasonEntity,
 	httpgate.ReasonChallenge,
 	httpgate.ReasonProfile,
 	httpgate.ReasonResource,

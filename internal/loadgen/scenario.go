@@ -59,6 +59,15 @@ const (
 	// tripping a per-node threshold rather than on out-rotating rules
 	// (give the class a ReactionMean to make them rotate too).
 	LowAndSlow
+	// Syndicate bots model a coordinated ring: the whole class shares one
+	// pool of spoofed fingerprints, proxy exits and booking references,
+	// and every request draws a fresh combination from it. No single
+	// identity ever runs hot — each fingerprint's rate stays under any
+	// sane per-identity threshold — so volume defences see nothing, while
+	// the shared resources braid every member into one linkage component
+	// an entity graph can flag. Syndicates hold the pool for the whole
+	// run; they evade by dilution, not rotation.
+	Syndicate
 )
 
 // String names the kind for labels and reports.
@@ -72,6 +81,8 @@ func (k ClassKind) String() string {
 		return "smspump"
 	case LowAndSlow:
 		return "lowslow"
+	case Syndicate:
+		return "syndicate"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"funabuse/internal/entitygraph"
+	"funabuse/internal/httpgate"
+)
+
+// SyndicateScenario is the coordinated-ring shape: honest background
+// browsing plus a small syndicate whose members draw every request's
+// fingerprint and exit address from one shared pool and fan out across a
+// shared set of booking references. The class rate is tuned so each
+// pooled fingerprint's in-window volume stays well under any per-identity
+// rule threshold — volume defences leak the attack essentially whole —
+// while the pool's co-occurrence braids fingerprints, addresses and
+// booking references into one linkage component an entity graph flags
+// within seconds.
+func SyndicateScenario(seed uint64, start time.Time) Scenario {
+	return Scenario{
+		Seed:  seed,
+		Start: start,
+		Classes: []Class{
+			{
+				Name:    "honest",
+				Kind:    Honest,
+				Clients: 10,
+				Paths:   []string{PathSearch, PathHold, PathSMS},
+				Phases:  []Phase{{Dur: 60 * time.Second, Rate: 3}},
+			},
+			{
+				Name:      "syndicate",
+				Kind:      Syndicate,
+				Clients:   8,
+				Paths:     []string{PathHold, PathSMS},
+				Resources: 12,
+				Phases: []Phase{
+					{Dur: 5 * time.Second, Rate: 0},
+					{Dur: 55 * time.Second, Rate: 12},
+				},
+			},
+		},
+	}
+}
+
+// GraphFeederConfig assembles a GraphFeeder.
+type GraphFeederConfig struct {
+	// Graph receives one observation per watched request.
+	Graph *entitygraph.Graph
+	// Weak is the per-request weak-signal score fed with each
+	// observation; a touch of suspicion per sensitive-path hit, so only
+	// sustained co-occurrence accrues to a flag.
+	Weak float64
+	// Paths restricts observation to these request paths; empty watches
+	// all.
+	Paths []string
+}
+
+// GraphFeeder is the observation half of the entity-linkage defence: a
+// gate decision hook that turns each watched request's identities — the
+// fingerprint, the client address, the booking reference it touches —
+// into one entity-graph observation. The graph does the rest: shared
+// resources union the observations into components, and the gate's
+// entity layer denies identities whose component crosses the flag
+// thresholds. It is driven from the gate's serving goroutines and
+// synchronises itself.
+type GraphFeeder struct {
+	graph *entitygraph.Graph
+	weak  float64
+	watch map[string]bool
+
+	mu   sync.Mutex
+	keys []string
+}
+
+// NewGraphFeeder returns a feeder observing into cfg.Graph.
+func NewGraphFeeder(cfg GraphFeederConfig) *GraphFeeder {
+	watch := make(map[string]bool, len(cfg.Paths))
+	for _, p := range cfg.Paths {
+		watch[p] = true
+	}
+	return &GraphFeeder{graph: cfg.Graph, weak: cfg.Weak, watch: watch}
+}
+
+// OnDecision is wired as the gate's decision hook. Every watched-path
+// request is evidence, whatever its verdict: a denied request still
+// demonstrates the co-occurrence of its identities, and observing it
+// keeps the component's score honest.
+func (f *GraphFeeder) OnDecision(r *http.Request, info httpgate.ClientInfo, deniedBy string) {
+	if len(f.watch) > 0 && !f.watch[r.URL.Path] {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := f.keys[:0]
+	if info.HasFingerprint {
+		keys = append(keys, entitygraph.FingerprintKey(info.Fingerprint))
+	}
+	if info.IP != "" {
+		keys = append(keys, entitygraph.IPKey(info.IP))
+	}
+	if pnr := r.URL.Query().Get("pnr"); pnr != "" {
+		keys = append(keys, entitygraph.BookingKey(pnr))
+	}
+	f.keys = keys
+	if len(keys) < 2 {
+		return
+	}
+	f.graph.Observe(keys, f.weak)
+}

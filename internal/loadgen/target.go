@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"funabuse/internal/entitygraph"
 	"funabuse/internal/httpgate"
 	"funabuse/internal/mitigate"
 	"funabuse/internal/obs"
@@ -27,6 +28,16 @@ type TargetConfig struct {
 	RuleThreshold int
 	RuleWindow    time.Duration
 	RulePaths     []string
+
+	// EntityGraph, when non-nil, wires the entity-linkage defence both
+	// ways: the gate's entity layer denies requests whose fingerprint,
+	// address or client key sits in a flagged linkage component, and a
+	// GraphFeeder observes every EntityPaths request (fingerprint +
+	// address + booking reference, at EntityWeak score each) into the
+	// graph. The caller owns the graph and reads its Stats after the run.
+	EntityGraph *entitygraph.Graph
+	EntityPaths []string
+	EntityWeak  float64
 
 	// Per-layer rate limits; zero disables a layer. ResourceLimit keys
 	// on the pnr query parameter — the paper's per-booking-reference
@@ -84,6 +95,7 @@ func NewTargetGate(cfg TargetConfig) (*httpgate.Gate, *mitigate.BlockList, *Rule
 		}
 	}
 	var deployer *RuleDeployer
+	var hooks []func(*http.Request, httpgate.ClientInfo, string)
 	if cfg.RuleThreshold > 0 {
 		deployer = NewRuleDeployer(RuleDeployerConfig{
 			Blocks:    blocks,
@@ -92,7 +104,27 @@ func NewTargetGate(cfg TargetConfig) (*httpgate.Gate, *mitigate.BlockList, *Rule
 			Window:    cfg.RuleWindow,
 			Paths:     cfg.RulePaths,
 		})
-		gcfg.OnDecision = deployer.OnDecision
+		hooks = append(hooks, deployer.OnDecision)
+	}
+	if cfg.EntityGraph != nil {
+		gcfg.Entities = cfg.EntityGraph
+		feeder := NewGraphFeeder(GraphFeederConfig{
+			Graph: cfg.EntityGraph,
+			Weak:  cfg.EntityWeak,
+			Paths: cfg.EntityPaths,
+		})
+		hooks = append(hooks, feeder.OnDecision)
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		gcfg.OnDecision = hooks[0]
+	default:
+		gcfg.OnDecision = func(r *http.Request, info httpgate.ClientInfo, deniedBy string) {
+			for _, h := range hooks {
+				h(r, info, deniedBy)
+			}
+		}
 	}
 	var opts []httpgate.Option
 	if cfg.Telemetry != nil {

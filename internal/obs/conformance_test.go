@@ -12,6 +12,7 @@ import (
 
 	"funabuse/internal/cluster"
 	"funabuse/internal/detect"
+	"funabuse/internal/entitygraph"
 	"funabuse/internal/httpgate"
 	"funabuse/internal/obs"
 	"funabuse/internal/resilience"
@@ -85,6 +86,15 @@ func TestCollectorConformance(t *testing.T) {
 					})
 				}
 				return m.Collector()
+			},
+		},
+		{
+			name: "entitygraph.Graph",
+			build: func(t *testing.T) obs.Collector {
+				g := entitygraph.New(entitygraph.Config{})
+				g.Observe([]string{"fp:a", "ip:1", "bk:r1"}, 0.5)
+				g.Observe([]string{"fp:b", "ip:1"}, 0.5)
+				return g.Collector()
 			},
 		},
 		{

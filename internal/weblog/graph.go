@@ -31,14 +31,19 @@ type GraphFeatures struct {
 // ExtractGraph computes navigation-graph features for a session.
 func ExtractGraph(s *Session) GraphFeatures {
 	var f GraphFeatures
+	if len(s.Requests) < 2 {
+		// A 0- or 1-request session has no transitions and at most one
+		// node; answering without the node map matters because rotating
+		// attackers shatter into exactly these sessions, making this the
+		// hottest path through the extractor.
+		f.Nodes = len(s.Requests)
+		return f
+	}
 	nodes := make(map[string]bool, len(s.Requests))
 	for _, r := range s.Requests {
 		nodes[r.Path] = true
 	}
 	f.Nodes = len(nodes)
-	if len(s.Requests) < 2 {
-		return f
-	}
 	edges := make(map[[2]string]int, len(s.Requests)-1)
 	selfLoops := 0
 	for i := 1; i < len(s.Requests); i++ {

@@ -52,6 +52,42 @@ func TestExtractGraphSingleRequest(t *testing.T) {
 	}
 }
 
+func TestExtractGraphEmptySession(t *testing.T) {
+	f := ExtractGraph(&Session{Key: "empty"})
+	if f != (GraphFeatures{}) {
+		t.Fatalf("empty session should yield zero features, got %+v", f)
+	}
+}
+
+func TestExtractGraphShortSessionAllocs(t *testing.T) {
+	// Rotating attackers shatter into 0/1-request sessions, so the early
+	// return must not build the node map.
+	single := sessionOf("/only")
+	empty := &Session{Key: "empty"}
+	if n := testing.AllocsPerRun(100, func() {
+		ExtractGraph(single)
+		ExtractGraph(empty)
+	}); n != 0 {
+		t.Fatalf("short-session ExtractGraph allocates %v/op, want 0", n)
+	}
+}
+
+func TestExtractGraphAllSelfLoops(t *testing.T) {
+	// A walk that never leaves one path, long enough that the pre-fix code
+	// paths all engage: one node, one edge, every transition a self-loop.
+	paths := make([]string, 64)
+	for i := range paths {
+		paths[i] = "/loop"
+	}
+	f := ExtractGraph(sessionOf(paths...))
+	if f.Nodes != 1 || f.Edges != 1 || f.Transitions != 63 {
+		t.Fatalf("graph %+v", f)
+	}
+	if f.SelfLoopShare != 1 || f.DominantEdgeShare != 1 || f.TransitionEntropy != 0 {
+		t.Fatalf("degenerate shares %+v", f)
+	}
+}
+
 func TestExtractGraphAlternation(t *testing.T) {
 	// A two-node ping-pong: two distinct edges, each 0.5 share: 1 bit.
 	s := sessionOf("/a", "/b", "/a", "/b", "/a")
