@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster partition syndicate
+.PHONY: check build test race vet bench bench-smoke benchdiff chaos obs-smoke cluster partition syndicate economics
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector (the replicate runner, signal engine, httpgate and detect
 # monitors are concurrent), the chaos suite, the cluster suite, a
 # one-iteration benchmark compile+run, and the telemetry smoke test.
-check: vet build race chaos cluster partition syndicate bench-smoke obs-smoke
+check: vet build race chaos cluster partition syndicate economics bench-smoke obs-smoke
 
 # cluster runs the multi-node gate-fleet suite — routing, anti-entropy
 # replication and the worker/node golden determinism tests — under the
@@ -28,6 +28,14 @@ partition:
 syndicate:
 	$(GO) test -race -count=1 ./internal/entitygraph
 	$(GO) test -race -count=1 -run 'Syndicate|Entity|Arm|GraphFeeder' ./cmd/fraudsim ./internal/loadgen ./internal/httpgate ./internal/detect
+
+# economics runs the E18 attacker-economics suites under the race
+# detector: the account store, the gate's account layer, the decoy set,
+# and the three-arm ROI scenario goldens (worker-count determinism,
+# strict ROI ordering, honest admit).
+economics:
+	$(GO) test -race -count=1 ./internal/account
+	$(GO) test -race -count=1 -run 'Economics|Account|Decoy|ROI|Econ' ./cmd/fraudsim ./internal/loadgen ./internal/httpgate ./internal/detect ./internal/mitigate
 
 # obs-smoke boots the telemetry mux, scrapes /metrics and /healthz, and
 # fails if the exposition contains a single unparseable line.
@@ -54,7 +62,7 @@ race:
 # bench writes the full benchmark sweep (3 samples per benchmark, with
 # allocation stats) as machine-readable go-test JSON for regression
 # tracking across PRs. Override BENCH_OUT to keep older snapshots.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -bench=. -benchmem -count=3 -run=^$$ -json ./... > $(BENCH_OUT)
 

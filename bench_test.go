@@ -97,7 +97,7 @@ func BenchmarkCaseCBoardingPass(b *testing.B) {
 }
 
 // BenchmarkDetectorComparison regenerates the Section III detector
-// comparison (three days of four-class traffic, seven detector arms).
+// comparison (three days of four-class traffic, eight detector arms).
 func BenchmarkDetectorComparison(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; b.Loop(); i++ {
@@ -105,7 +105,7 @@ func BenchmarkDetectorComparison(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Scores) != 7 {
+		if len(res.Scores) != 8 {
 			b.Fatal("detector set incomplete")
 		}
 	}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"funabuse/internal/account"
+	"funabuse/internal/httpgate"
+	"funabuse/internal/loadgen"
+	"funabuse/internal/metrics"
+	"funabuse/internal/mitigate"
+	"funabuse/internal/obs"
+	"funabuse/internal/simclock"
+)
+
+// The economics scenario (experiment E18) replays one budget-constrained
+// seat-spinning plan — attackers paying per account registration, per
+// request and per burned account, enumerating their own booking-reference
+// range — against three defence arms: no account tiering, loyalty-tiered
+// gating (bulk seat-map probing restricted to members, per-tier rate
+// multipliers), and tiering plus live decoy inventory seeded into the
+// attacker's enumeration space. The headline contrast is the attacker's
+// ROI over time: tiering cuts revenue, and honeypots push the operation
+// under water — admitted decoy bookings earn nothing while every hit
+// deploys an instant blocking rule that burns the account behind it.
+
+// Economics defence tuning: guests get a per-account rate allowance low
+// enough to blunt a burst while the member/silver/gold multipliers keep
+// established customers unthrottled, and roughly a third of the
+// attacker's reference space is decoy inventory.
+const (
+	econGuestLimit    = 40
+	econLimitWindow   = time.Minute
+	econDecoyFraction = 0.3
+	econBucket        = 15 * time.Second
+)
+
+// econArm is one defence configuration the plan is replayed against.
+type econArm struct {
+	name    string
+	tiering bool
+	decoys  bool
+}
+
+// econArms are the three rungs of the E18 comparison.
+var econArms = []econArm{
+	{name: "no tiering"},
+	{name: "tiering", tiering: true},
+	{name: "tiering + honeypots", tiering: true, decoys: true},
+}
+
+// econOutcome is one arm's measurements, joined for the report.
+type econOutcome struct {
+	arm    econArm
+	result *loadgen.Result
+	rules  []loadgen.Rule
+	decoys *mitigate.DecoySet
+	ledger *loadgen.ROILedger
+}
+
+// econAttackerClass locates the scenario's priced class.
+func econAttackerClass(sc loadgen.Scenario) int {
+	for ci, c := range sc.Classes {
+		if c.Econ != nil {
+			return ci
+		}
+	}
+	return -1
+}
+
+// runEconomics replays the seeded attacker-economics plan against each
+// defence arm on a live httpgate-backed server and reports the ROI
+// contrast side by side. Virtual pacing (the default) makes the whole run
+// bit-deterministic per seed; -loadreal paces the same plan in wall time.
+func runEconomics(opts options, stdout, stderr io.Writer) error {
+	start := loadsimEpoch
+	if opts.loadReal {
+		start = time.Now()
+	}
+	sc := loadgen.EconomicsScenario(opts.seed, start)
+	plan, err := loadgen.BuildPlan(sc)
+	if err != nil {
+		return err
+	}
+
+	var reg *obs.Registry
+	if opts.telemetry != nil || opts.serve != "" {
+		reg = opts.telemetry
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		reg.Gauge("fraudsim_seed").Set(float64(opts.seed))
+		reg.Gauge("fraudsim_scenario_info",
+			obs.Label{Name: "scenario", Value: "economics"}).Set(1)
+		reg.Help("fraudsim_scenario_info", "Constant 1; the scenario label identifies the run.")
+	}
+	if opts.serve != "" {
+		ring := opts.traces
+		if ring == nil {
+			ring = obs.NewTraceRing(obs.DefaultTraceCapacity)
+		}
+		srv, err := serveTelemetry(opts.serve, reg, ring, stderr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
+	outcomes, err := econOutcomes(opts, plan, reg, stderr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprint(stdout, econReport(plan, outcomes).String())
+
+	if opts.stayUp && opts.serve != "" {
+		waitForInterrupt(stderr)
+	}
+	return nil
+}
+
+// econOutcomes replays the plan against every arm in order.
+func econOutcomes(opts options, plan *loadgen.Plan, reg *obs.Registry, stderr io.Writer) ([]econOutcome, error) {
+	outcomes := make([]econOutcome, 0, len(econArms))
+	for _, arm := range econArms {
+		out, err := runEconArm(opts, plan, arm, reg, stderr)
+		if err != nil {
+			return nil, fmt.Errorf("arm %q: %w", arm.name, err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, nil
+}
+
+// runEconArm boots a fresh defended target for the arm, replays the
+// shared plan against it, and folds the run into the arm's ROI ledger.
+// Tiered arms pre-register the honest fleet as long-standing gold members
+// — established customers whose history the attacker cannot buy — while
+// attacker accounts are created on first sight as guests.
+func runEconArm(opts options, plan *loadgen.Plan, arm econArm, reg *obs.Registry, stderr io.Writer) (econOutcome, error) {
+	sc := plan.Scenario
+	attacker := econAttackerClass(sc)
+	if attacker < 0 {
+		return econOutcome{}, fmt.Errorf("scenario has no priced class")
+	}
+
+	var manual *simclock.Manual
+	tcfg := loadgen.TargetConfig{}
+	if !opts.loadReal {
+		manual = simclock.NewManual(sc.Start)
+		tcfg.Clock = manual
+	}
+	if arm.tiering {
+		store := account.NewStore(account.Config{})
+		for _, c := range sc.Classes {
+			if c.Kind.Abusive() {
+				continue
+			}
+			// Honest sessions are stable per client, named by the fleet.
+			for i := 0; i < c.Clients; i++ {
+				store.Register(fmt.Sprintf("%s-%d", c.Name, i),
+					sc.Start.Add(-365*24*time.Hour), 25, sc.Start)
+			}
+		}
+		tcfg.Accounts = store
+		tcfg.AccountRestricted = map[string]int{loadgen.PathSeatMap: int(account.Member)}
+		tcfg.AccountBaseLimit = econGuestLimit
+		tcfg.AccountWindow = econLimitWindow
+		tcfg.AccountBookingPaths = []string{loadgen.PathHold}
+	}
+	var decoys *mitigate.DecoySet
+	if arm.decoys {
+		decoys = mitigate.NewDecoySet(sc.Seed, sc.ClassRefs(attacker), econDecoyFraction)
+		tcfg.Decoys = decoys
+	}
+	target, err := loadgen.StartTarget(tcfg)
+	if err != nil {
+		return econOutcome{}, err
+	}
+	defer target.Close()
+	fmt.Fprintf(stderr, "fraudsim: economics arm %q driving %s (%d arrivals)\n",
+		arm.name, target.URL, len(plan.Arrivals))
+
+	ledger := loadgen.NewROILedger(loadgen.ROILedgerConfig{
+		Econ:   *sc.Classes[attacker].Econ,
+		Class:  attacker,
+		Start:  sc.Start,
+		Bucket: econBucket,
+		Decoys: decoys,
+	})
+	runner, err := loadgen.NewRunner(loadgen.RunnerConfig{
+		Plan:      plan,
+		BaseURL:   target.URL,
+		Workers:   opts.loadWorkers,
+		Virtual:   manual,
+		Telemetry: reg,
+		Arm:       arm.name,
+		Observe:   ledger.Observe,
+	})
+	if err != nil {
+		return econOutcome{}, err
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return econOutcome{}, err
+	}
+	ledger.FoldResult(res)
+	out := econOutcome{arm: arm, result: res, ledger: ledger, decoys: decoys}
+	if target.Deployer != nil {
+		out.rules = target.Deployer.Rules()
+	}
+	return out, nil
+}
+
+// econReport renders the per-arm comparison. Every column replays the
+// same seeded plan with the same attacker cost sheet, so every
+// difference is the defence configuration's.
+func econReport(plan *loadgen.Plan, outcomes []econOutcome) *metrics.Table {
+	headers := make([]string, 0, len(outcomes)+1)
+	headers = append(headers, "Metric")
+	for _, o := range outcomes {
+		headers = append(headers, o.arm.name)
+	}
+	t := metrics.NewTable("attacker economics report", headers...)
+
+	row := func(label string, cell func(econOutcome) string) {
+		cells := make([]string, 0, len(outcomes)+1)
+		cells = append(cells, label)
+		for _, o := range outcomes {
+			cells = append(cells, cell(o))
+		}
+		t.AddRow(cells...)
+	}
+	attacker := econAttackerClass(plan.Scenario)
+	attackerOf := func(o econOutcome) loadgen.ClassResult {
+		return o.result.Classes[attacker]
+	}
+
+	row("plan hash", func(o econOutcome) string {
+		return fmt.Sprintf("%016x", o.result.PlanHash)
+	})
+	row("requests completed", func(o econOutcome) string {
+		var done uint64
+		for _, c := range o.result.Classes {
+			done += c.Completed()
+		}
+		return metrics.FormatInt(int64(done))
+	})
+	row("honest admit rate", func(o econOutcome) string {
+		var admitted, done uint64
+		for _, c := range o.result.Classes {
+			if c.Kind.Abusive() {
+				continue
+			}
+			admitted += c.Admitted
+			done += c.Completed()
+		}
+		if done == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(admitted)/float64(done))
+	})
+	row("attacker leak rate", func(o econOutcome) string {
+		rate, ok := o.result.AbusiveLeakRate()
+		if !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", rate)
+	})
+	row("rules deployed", func(o econOutcome) string {
+		return metrics.FormatInt(int64(len(o.rules)))
+	})
+	row("tier denials", func(o econOutcome) string {
+		return metrics.FormatInt(int64(attackerOf(o).Denied[httpgate.ReasonAccountTier]))
+	})
+	row("account rate-limit denials", func(o econOutcome) string {
+		return metrics.FormatInt(int64(attackerOf(o).Denied[httpgate.ReasonAccountLimit]))
+	})
+	row("decoy hits", func(o econOutcome) string {
+		if o.decoys == nil {
+			return "n/a"
+		}
+		return metrics.FormatInt(int64(o.decoys.HitCount()))
+	})
+	row("accounts registered", func(o econOutcome) string {
+		return metrics.FormatInt(int64(attackerOf(o).Registrations))
+	})
+	row("accounts burned", func(o econOutcome) string {
+		return metrics.FormatInt(int64(attackerOf(o).Burned))
+	})
+	row("budget-stopped arrivals", func(o econOutcome) string {
+		return metrics.FormatInt(int64(attackerOf(o).BudgetSkipped))
+	})
+	row("attacker spend", func(o econOutcome) string {
+		spend, _, _ := o.ledger.Totals()
+		return fmt.Sprintf("$%.2f", spend)
+	})
+	row("believed revenue", func(o econOutcome) string {
+		_, believed, _ := o.ledger.Totals()
+		return fmt.Sprintf("$%.2f", believed)
+	})
+	row("actual revenue", func(o econOutcome) string {
+		_, _, actual := o.ledger.Totals()
+		return fmt.Sprintf("$%.2f", actual)
+	})
+	row("attacker profit", func(o econOutcome) string {
+		return fmt.Sprintf("$%.2f", o.ledger.ProfitUSD())
+	})
+	row("attacker ROI", func(o econOutcome) string {
+		roi, ok := o.ledger.ROI()
+		if !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", roi)
+	})
+	for _, offset := range []time.Duration{econBucket, 2 * econBucket, 3 * econBucket, 4 * econBucket} {
+		at := plan.Scenario.Start.Add(offset)
+		row(fmt.Sprintf("cumulative profit @ %s", offset), func(o econOutcome) string {
+			return fmt.Sprintf("$%.2f", o.ledger.At(at).ProfitUSD())
+		})
+	}
+	return t
+}

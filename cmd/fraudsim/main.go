@@ -11,6 +11,7 @@
 //	fraudsim -scenario clustersim
 //	fraudsim -scenario partition
 //	fraudsim -scenario syndicate
+//	fraudsim -scenario economics
 //
 // The loadsim scenario is different in kind: instead of the in-process
 // simulation it boots a real httpgate-backed HTTP server and replays a
@@ -37,6 +38,14 @@
 // the same rules backed by the incremental entity-linkage graph, which
 // collapses the ring into one flagged component the gate's entity layer
 // then denies wholesale; see internal/entitygraph and internal/loadgen.
+//
+// The economics scenario replays a budget-constrained seat-spinning
+// operation — attackers paying per account registration, per request and
+// per burned account — against three arms: no account tiering,
+// loyalty-tiered gating (bulk seat-map probing restricted to members,
+// per-tier rate allowances), and tiering plus live decoy inventory seeded
+// into the attacker's enumeration range. The report tracks the attacker's
+// ROI over time under each arm; see internal/account and internal/loadgen.
 //
 // All scenarios are deterministic per -seed (loadsim under its default
 // virtual pacing; -loadreal switches to wall-clock pacing). With -serve
@@ -101,8 +110,16 @@ type options struct {
 	traces *obs.TraceRing
 }
 
+// scenarioNames lists every scenario run accepts, in the order the
+// package doc introduces them; the unknown-scenario error echoes it.
+var scenarioNames = []string{
+	"seatspin", "smspump", "manual", "mixed",
+	"loadsim", "clustersim", "partition", "syndicate", "economics",
+}
+
 func main() {
-	scenario := flag.String("scenario", "seatspin", "scenario: seatspin, smspump, manual, mixed, loadsim, clustersim, partition, syndicate")
+	scenario := flag.String("scenario", "seatspin",
+		"scenario: "+strings.Join(scenarioNames, ", "))
 	days := flag.Int("days", 7, "attack duration in simulated days")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	defend := flag.Bool("defend", false, "run the adaptive defender")
@@ -189,9 +206,12 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return runPartition(opts, stdout, stderr)
 	case "syndicate":
 		return runSyndicate(opts, stdout, stderr)
+	case "economics":
+		return runEconomics(opts, stdout, stderr)
 	case "seatspin", "smspump", "manual", "mixed":
 	default:
-		return fmt.Errorf("unknown scenario %q", opts.scenario)
+		return fmt.Errorf("unknown scenario %q (valid: %s)",
+			opts.scenario, strings.Join(scenarioNames, ", "))
 	}
 	horizon := time.Duration(opts.days) * 24 * time.Hour
 	warmup := 2 * 24 * time.Hour

@@ -17,6 +17,12 @@ func TestRunUnknownScenario(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
+	// The error names every valid scenario so a typo is self-correcting.
+	for _, name := range scenarioNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list scenario %q", err, name)
+		}
+	}
 }
 
 func TestRunManualScenarioDefended(t *testing.T) {

@@ -250,6 +250,13 @@ func RunDetectionComparison(seed uint64) (DetectionResult, error) {
 	})
 	registry.MustRegister(detect.NewEntityGraphArm(graph))
 
+	// 7. Account history: every identified request ages and accrues on a
+	// lifecycle account, and a session is flagged when its account's
+	// request volume outruns its age — the paper's Section V observation
+	// that history is the signal an attacker cannot cheaply fake, read as
+	// a detector rather than a tier gate.
+	registry.MustRegister(detect.NewAccountArm(nil, detect.DefaultAccountArmConfig()))
+
 	registry.Observe(env.App.Log().Requests(), sessions)
 
 	for _, arm := range registry.Arms() {

@@ -169,6 +169,37 @@ func TestEvictionPreservesFlagsAndScore(t *testing.T) {
 	}
 }
 
+func TestEvictionRecountsFlaggedComponents(t *testing.T) {
+	g := New(Config{MaxNodes: 16, MaxEdges: 1024, MinSize: 3, MinTypes: 2, FlagScore: 1.0})
+	// Flag one component, then stop touching it so decay evicts it whole.
+	for range 3 {
+		g.Observe([]string{"fp:old", "ip:old", "bk:old"}, 0.5)
+	}
+	if st := g.Stats(); st.FlaggedComponents != 1 {
+		t.Fatalf("setup: %+v", st)
+	}
+	// A second flagged component stays hot through a churn of one-shot
+	// pairs that forces repeated budget evictions.
+	for i := range 100 {
+		g.Observe([]string{"fp:new", "ip:new", "bk:new"}, 0.5)
+		g.Observe([]string{
+			fmt.Sprintf("fp:churn%04d", i),
+			fmt.Sprintf("ip:churn%04d", i),
+		}, 0)
+	}
+	if _, ok := g.Lookup("fp:old"); ok {
+		t.Fatal("cold flagged component survived 100 churn evictions")
+	}
+	if !g.Flagged("fp:new") {
+		t.Fatal("hot flagged component lost its flag")
+	}
+	// The flagged-component count must be recounted from the rebuilt
+	// forest, not carried over: the evicted component no longer counts.
+	if st := g.Stats(); st.FlaggedComponents != 1 {
+		t.Fatalf("flag count stale after eviction: %+v", st)
+	}
+}
+
 func TestEdgeBudget(t *testing.T) {
 	g := New(Config{MaxNodes: 1 << 10, MaxEdges: 32})
 	for i := range 100 {

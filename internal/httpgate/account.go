@@ -1,0 +1,165 @@
+package httpgate
+
+import (
+	"time"
+
+	"funabuse/internal/signal"
+)
+
+// numAccountTiers is the gate's view of the loyalty ladder
+// (guest/member/silver/gold). It mirrors account.NumTiers without
+// importing the package: the lookup seam keeps httpgate decoupled from
+// the store exactly as EntityLookup decouples it from the graph. Tiers
+// outside the range are clamped.
+const numAccountTiers = 4
+
+// accountTierName names a tier slot for telemetry labels.
+func accountTierName(t int) string {
+	switch t {
+	case 0:
+		return "guest"
+	case 1:
+		return "member"
+	case 2:
+		return "silver"
+	case 3:
+		return "gold"
+	default:
+		return "unknown"
+	}
+}
+
+// AccountLookup resolves a client key's loyalty tier (0 = guest). The
+// gate probes it once or twice per request on the admitted hot path, so
+// implementations must be allocation-free and safe for concurrent use;
+// account.Store's TierOf is the canonical implementation. Unknown and
+// empty keys are guests.
+type AccountLookup interface {
+	TierOf(key string) int
+}
+
+// DefaultAccountMultipliers is the per-tier rate multiplier ladder used
+// when AccountPolicy.Multipliers is nil: each tier quadruples the
+// allowance of the one below, so history buys headroom and a freshly
+// registered attacker account gets the guest trickle.
+var DefaultAccountMultipliers = []int{1, 4, 16, 64}
+
+// AccountPolicy configures the account-lifecycle layer: which paths are
+// reserved for which loyalty tiers, and how much per-key rate each tier
+// is allowed.
+type AccountPolicy struct {
+	// Lookup resolves client keys to tiers; nil disables the layer
+	// unless TierFunc is set.
+	Lookup AccountLookup
+	// TierFunc, when non-nil, replaces Lookup as the tier resolution —
+	// the hook for remote account services and fault injection. Errors
+	// are absorbed by the layer's breaker and fail policy.
+	TierFunc func(key string, now time.Time) (int, error)
+	// Restricted maps a request path to the minimum tier allowed on it
+	// (e.g. bulk seat-map probing gated to member+). Requests below the
+	// bar are denied 403/account-tier; paths not listed are open to all
+	// tiers. Empty disables the feature-access step.
+	Restricted map[string]int
+	// BaseLimit caps requests per client key per Window for tier 0;
+	// tier t gets BaseLimit*Multipliers[t]. Zero disables the per-tier
+	// rate step.
+	BaseLimit int
+	Window    time.Duration
+	// Multipliers is the per-tier rate ladder, indexed by tier; nil
+	// selects DefaultAccountMultipliers, entries <= 0 inherit the
+	// highest preceding positive multiplier.
+	Multipliers []int
+}
+
+// buildAccounts normalizes the account policy and constructs the
+// per-tier limiter table.
+func (g *Gate) buildAccounts() {
+	p := g.cfg.Accounts
+	if p == nil || (p.Lookup == nil && p.TierFunc == nil) {
+		return
+	}
+	pol := *p
+	g.accounts = &pol
+	if pol.BaseLimit <= 0 || pol.Window <= 0 {
+		return
+	}
+	mults := pol.Multipliers
+	if mults == nil {
+		mults = DefaultAccountMultipliers
+	}
+	last := 1
+	for t := 0; t < numAccountTiers; t++ {
+		if t < len(mults) && mults[t] > 0 {
+			last = mults[t]
+		}
+		g.accountLims[t] = signal.NewLimiter(signal.LimiterConfig{
+			Window: pol.Window, Limit: pol.BaseLimit * last,
+			Buckets: g.cfg.WindowBuckets, Shards: g.cfg.Shards,
+		})
+	}
+}
+
+// skipFor reports whether the step does not apply to this client: the
+// per-client-key limiters (profile, account rate) skip anonymous
+// requests rather than funnelling them into one shared bucket. The
+// account feature gate does NOT skip them — an anonymous client is a
+// guest, and guests do not reach member-only features.
+func (st *layerStep) skipFor(info *ClientInfo) bool {
+	return (st.kind == stepProfile || st.kind == stepAccountLimit) && info.ClientKey == ""
+}
+
+// accountTier resolves the request's loyalty tier, clamped into the
+// gate's tier range, counting it into the per-tier telemetry family on
+// the step that owns the counter (so a request is counted once even when
+// both account steps evaluate it).
+func accountTier(g *Gate, kind stepKind, ctx *decisionCtx) (int, error) {
+	var tier int
+	if fn := g.accounts.TierFunc; fn != nil {
+		t, err := fn(ctx.info.ClientKey, ctx.now)
+		if err != nil {
+			return 0, err
+		}
+		tier = t
+	} else {
+		tier = g.accounts.Lookup.TierOf(ctx.info.ClientKey)
+	}
+	if tier < 0 {
+		tier = 0
+	} else if tier >= numAccountTiers {
+		tier = numAccountTiers - 1
+	}
+	if tel := g.tel; tel != nil && kind == g.accountCountIn && tel.tiers[tier] != nil {
+		tel.tiers[tier].Inc()
+	}
+	return tier, nil
+}
+
+// callAccountGate enforces per-tier feature access: paths in Restricted
+// require the mapped minimum tier.
+func callAccountGate(g *Gate, ctx *decisionCtx) (bool, error) {
+	tier, err := accountTier(g, stepAccountGate, ctx)
+	if err != nil {
+		return false, err
+	}
+	min, ok := g.accounts.Restricted[ctx.r.URL.Path]
+	if !ok {
+		return true, nil
+	}
+	return tier >= min, nil
+}
+
+// callAccountLimit probes the tier's per-client-key limiter.
+func callAccountLimit(g *Gate, ctx *decisionCtx) (bool, error) {
+	tier, err := accountTier(g, stepAccountLimit, ctx)
+	if err != nil {
+		return false, err
+	}
+	lim := g.accountLims[tier]
+	if lim == nil {
+		return true, nil
+	}
+	buf := append(ctx.buf[:0], "ak:"...)
+	buf = append(buf, ctx.info.ClientKey...)
+	ctx.buf = buf
+	return lim.AllowBytes(buf, ctx.now), nil
+}

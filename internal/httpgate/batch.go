@@ -127,7 +127,7 @@ func (g *Gate) batchStep(st *layerStep, reqs []Request, out []Decision, pending,
 	// resource): per-request semantics, identical to sequential decide.
 	if !st.builtin {
 		for _, i := range pending {
-			if st.kind == stepProfile && reqs[i].Info.ClientKey == "" {
+			if st.skipFor(&reqs[i].Info) {
 				next = append(next, i)
 				continue
 			}
@@ -148,7 +148,7 @@ func (g *Gate) batchStep(st *layerStep, reqs []Request, out []Decision, pending,
 	// this is indistinguishable from per-request checks.
 	if gd.breaker != nil && !gd.breaker.Allow(now) {
 		for _, i := range pending {
-			if st.kind == stepProfile && reqs[i].Info.ClientKey == "" {
+			if st.skipFor(&reqs[i].Info) {
 				next = append(next, i)
 				continue
 			}
@@ -164,14 +164,18 @@ func (g *Gate) batchStep(st *layerStep, reqs []Request, out []Decision, pending,
 	}
 
 	switch st.kind {
-	case stepBlocklist, stepEntity:
-		// The shared BlockList (and the entity graph, same per-identity
-		// probe shape) synchronises internally and each request probes
-		// distinct identities, so bulk grouping buys nothing — but the
-		// round still shares the breaker snapshot above and records one
-		// aggregated outcome below.
+	case stepBlocklist, stepEntity, stepAccountGate, stepAccountLimit:
+		// The shared BlockList (and the entity graph and account store,
+		// same per-identity probe shape) synchronises internally and each
+		// request probes distinct identities, so bulk grouping buys
+		// nothing — but the round still shares the breaker snapshot above
+		// and records one aggregated outcome below.
 		ok := true
 		for _, i := range pending {
+			if st.skipFor(&reqs[i].Info) {
+				next = append(next, i)
+				continue
+			}
 			ctx.r, ctx.info = reqs[i].R, reqs[i].Info
 			v, err := g.safeCall(gd, st, ctx)
 			var deg uint8
@@ -196,7 +200,7 @@ func (g *Gate) batchStep(st *layerStep, reqs []Request, out []Decision, pending,
 		// hash per key, each shard lock taken at most once.
 		probe, keys, arena := sc.probe[:0], sc.keys[:0], sc.arena[:0]
 		for _, i := range pending {
-			if st.kind == stepProfile && reqs[i].Info.ClientKey == "" {
+			if st.skipFor(&reqs[i].Info) {
 				next = append(next, i)
 				continue
 			}

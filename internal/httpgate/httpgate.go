@@ -82,11 +82,17 @@ const (
 	ReasonBlocklist = "blocklist"
 	// ReasonEntity is reported when one of the request's identities sits
 	// in a flagged entity-linkage component.
-	ReasonEntity    = "entity-graph"
-	ReasonChallenge = "challenge"
-	ReasonPathLimit = "rate-limit-path"
-	ReasonProfile   = "rate-limit-profile"
-	ReasonResource  = "rate-limit-resource"
+	ReasonEntity = "entity-graph"
+	// ReasonAccountTier is reported when the request's path requires a
+	// loyalty tier the client's account has not earned.
+	ReasonAccountTier = "account-tier"
+	// ReasonAccountLimit is reported when the client exceeded its
+	// tier's rate allowance.
+	ReasonAccountLimit = "rate-limit-account"
+	ReasonChallenge    = "challenge"
+	ReasonPathLimit    = "rate-limit-path"
+	ReasonProfile      = "rate-limit-profile"
+	ReasonResource     = "rate-limit-resource"
 	// ReasonDecision is reported when the decision journal is unavailable
 	// and the journal layer is configured fail-closed (audit-mandatory
 	// deployments).
@@ -100,6 +106,7 @@ type Layer int
 const (
 	LayerBlocklist Layer = iota
 	LayerEntity
+	LayerAccount
 	LayerChallenge
 	LayerProfile
 	LayerResource
@@ -115,6 +122,8 @@ func (l Layer) String() string {
 		return "blocklist"
 	case LayerEntity:
 		return "entity"
+	case LayerAccount:
+		return "account"
 	case LayerChallenge:
 		return "challenge"
 	case LayerProfile:
@@ -207,6 +216,7 @@ type ResilienceConfig struct {
 	// DESIGN.md for guidance on choosing per layer.
 	Blocklist resilience.Policy
 	Entity    resilience.Policy
+	Account   resilience.Policy
 	Challenge resilience.Policy
 	Profile   resilience.Policy
 	Resource  resilience.Policy
@@ -239,6 +249,12 @@ type Config struct {
 	// hook for remote graph services and fault injection. Keys arrive
 	// prefixed ("fp:", "ip:", "ck:") exactly as with Entities.
 	EntityCheck CheckFunc
+	// Accounts, when non-nil, enables the account-lifecycle layer:
+	// per-tier feature access and per-tier rate multipliers resolved
+	// against the client key's loyalty tier. As with the entity layer,
+	// the hot path only reads the account store — creating and aging
+	// accounts belongs off the serving path (an OnDecision hook).
+	Accounts *AccountPolicy
 	// Challenge, when non-nil, is invoked for every admitted-so-far
 	// request; returning false denies with 403/challenge. Wire it to a
 	// CAPTCHA or proof-of-work verifier.
@@ -315,6 +331,8 @@ type stepKind uint8
 const (
 	stepBlocklist stepKind = iota
 	stepEntity
+	stepAccountGate
+	stepAccountLimit
 	stepChallenge
 	stepProfile
 	stepResource
@@ -406,6 +424,14 @@ type Gate struct {
 	profile  *signal.Limiter
 	resource *signal.Limiter
 
+	// Account layer state: the normalized policy, the per-tier limiter
+	// table, and which account step owns the per-tier telemetry counter
+	// (so a request's tier is counted exactly once when both account
+	// steps are enabled).
+	accounts       *AccountPolicy
+	accountLims    [numAccountTiers]*signal.Limiter
+	accountCountIn stepKind
+
 	// Custom fallible layer calls; nil means the built-in (or nothing)
 	// serves the layer.
 	blockCheck    CheckFunc
@@ -490,6 +516,7 @@ func New(cfg Config, opts ...Option) *Gate {
 			Buckets: cfg.WindowBuckets, Shards: cfg.Shards,
 		})
 	}
+	g.buildAccounts()
 
 	g.buildSteps()
 
@@ -497,6 +524,7 @@ func New(cfg Config, opts ...Option) *Gate {
 		policies := [numLayers]resilience.Policy{
 			LayerBlocklist: rc.Blocklist,
 			LayerEntity:    rc.Entity,
+			LayerAccount:   rc.Account,
 			LayerChallenge: rc.Challenge,
 			LayerProfile:   rc.Profile,
 			LayerResource:  rc.Resource,
@@ -534,6 +562,27 @@ func (g *Gate) buildSteps() {
 			builtin: g.entities != nil, call: callEntity,
 			reason: ReasonEntity, status: http.StatusForbidden,
 		})
+	}
+	if p := g.accounts; p != nil {
+		// A custom TierFunc is the remote-lookup/fault-injection seam, so
+		// it keeps per-request breaker semantics in batch rounds.
+		builtin := p.TierFunc == nil
+		g.accountCountIn = stepAccountLimit
+		if len(p.Restricted) > 0 {
+			g.accountCountIn = stepAccountGate
+			g.steps = append(g.steps, layerStep{
+				kind: stepAccountGate, layer: LayerAccount, passVal: true,
+				builtin: builtin, call: callAccountGate,
+				reason: ReasonAccountTier, status: http.StatusForbidden,
+			})
+		}
+		if p.BaseLimit > 0 {
+			g.steps = append(g.steps, layerStep{
+				kind: stepAccountLimit, layer: LayerAccount, passVal: true,
+				builtin: builtin, call: callAccountLimit,
+				reason: ReasonAccountLimit, status: http.StatusTooManyRequests,
+			})
+		}
 	}
 	if g.challenge != nil {
 		g.steps = append(g.steps, layerStep{
@@ -681,7 +730,7 @@ func (g *Gate) run(ctx *decisionCtx) (string, int, uint8) {
 	}
 	for i := range g.steps {
 		st := &g.steps[i]
-		if st.kind == stepProfile && ctx.info.ClientKey == "" {
+		if st.skipFor(&ctx.info) {
 			continue
 		}
 		v, deg := g.runCheck(st, ctx)

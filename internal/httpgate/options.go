@@ -56,6 +56,14 @@ func WithEntities(lookup EntityLookup) Option {
 	return func(cfg *Config) { cfg.Entities = lookup }
 }
 
+// WithAccounts enables the account-lifecycle layer under p (overrides
+// Config.Accounts): the client key's loyalty tier gates feature access
+// (Restricted paths, 403/account-tier) and scales the per-key rate
+// allowance (BaseLimit x Multipliers[tier], 429/rate-limit-account).
+func WithAccounts(p AccountPolicy) Option {
+	return func(cfg *Config) { cfg.Accounts = &p }
+}
+
 // WithShards sets the lock-stripe count for each rate-limiting layer
 // (overrides Config.Shards).
 func WithShards(n int) Option {

@@ -21,6 +21,10 @@ const (
 	MetricBreakerState   = "gate_layer_breaker_state"
 	MetricBreakerOpens   = "gate_layer_breaker_opens_total"
 	MetricBreakerShorted = "gate_layer_breaker_short_circuits_total"
+	// MetricAccountTier counts account-layer evaluations by the resolved
+	// loyalty tier (tier label); only registered when the account layer
+	// is enabled.
+	MetricAccountTier = "gate_account_tier_total"
 )
 
 // gateTelemetry holds the gate's live metric handles, pre-resolved at
@@ -31,6 +35,7 @@ const (
 type gateTelemetry struct {
 	latency *obs.Histogram
 	denials [len(allReasons)]*obs.Counter
+	tiers   [numAccountTiers]*obs.Counter
 	traces  *obs.TraceRing
 }
 
@@ -38,8 +43,9 @@ type gateTelemetry struct {
 // the per-reason denial counters exist (at zero) from the first scrape.
 // Order is the reasonIndex slot order.
 var allReasons = [...]string{
-	ReasonBlocklist, ReasonEntity, ReasonChallenge, ReasonProfile,
-	ReasonResource, ReasonPathLimit, ReasonDecision,
+	ReasonBlocklist, ReasonEntity, ReasonAccountTier, ReasonAccountLimit,
+	ReasonChallenge, ReasonProfile, ReasonResource, ReasonPathLimit,
+	ReasonDecision,
 }
 
 // reasonIndex maps a denial reason to its slot in allReasons (and in the
@@ -50,16 +56,20 @@ func reasonIndex(reason string) int {
 		return 0
 	case ReasonEntity:
 		return 1
-	case ReasonChallenge:
+	case ReasonAccountTier:
 		return 2
-	case ReasonProfile:
+	case ReasonAccountLimit:
 		return 3
-	case ReasonResource:
+	case ReasonChallenge:
 		return 4
-	case ReasonPathLimit:
+	case ReasonProfile:
 		return 5
-	case ReasonDecision:
+	case ReasonResource:
 		return 6
+	case ReasonPathLimit:
+		return 7
+	case ReasonDecision:
+		return 8
 	default:
 		return -1
 	}
@@ -82,6 +92,14 @@ func (g *Gate) initTelemetry(reg *obs.Registry, traces *obs.TraceRing) {
 			lbls := append(append(make([]obs.Label, 0, len(base)+1), base...),
 				obs.Label{Name: "reason", Value: reason})
 			tel.denials[i] = reg.Counter(MetricDenials, lbls...)
+		}
+		if g.accounts != nil {
+			reg.Help(MetricAccountTier, "Account-layer evaluations by resolved loyalty tier.")
+			for t := 0; t < numAccountTiers; t++ {
+				lbls := append(append(make([]obs.Label, 0, len(base)+1), base...),
+					obs.Label{Name: "tier", Value: accountTierName(t)})
+				tel.tiers[t] = reg.Counter(MetricAccountTier, lbls...)
+			}
 		}
 		reg.Register(g.Collector())
 	}

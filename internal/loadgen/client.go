@@ -48,6 +48,14 @@ type client struct {
 	noticedAt time.Time
 	pendingAt time.Time
 	rotations []Rotation
+
+	// Economics state, nil/zero unless the class carries an EconModel.
+	// spentUSD accrues registrations, per-request costs and burned-account
+	// write-offs; once it reaches the budget the client stops issuing.
+	econ          *EconModel
+	spentUSD      float64
+	registrations int
+	burned        int
 }
 
 // Syndicate identity-pool sizes: small enough that the ring's resources
@@ -114,6 +122,12 @@ func newFleet(root *simrand.RNG, ci int, c Class) []*client {
 			cl.fp = cl.rot.Current().Hash()
 			cl.sid = cl.id + "-r0"
 			cl.ip = cl.drawProxyIP()
+			if c.Econ != nil {
+				// Opening the account is the first line of the ledger.
+				cl.econ = c.Econ
+				cl.spentUSD = c.Econ.RegistrationUSD
+				cl.registrations = 1
+			}
 		} else {
 			gen := fingerprint.NewGenerator(rng.Derive("gen"))
 			cl.fp = gen.Organic().Hash()
@@ -158,6 +172,13 @@ func (c *client) identity(now time.Time) (fpHex, sid, ip string, rotated bool) {
 			c.noticedAt = time.Time{}
 			c.pendingAt = time.Time{}
 			rotated = true
+			if c.econ != nil {
+				// The blocked account is written off and a fresh one
+				// registered — the per-rotation price of evasion.
+				c.burned++
+				c.registrations++
+				c.spentUSD += c.econ.BurnUSD + c.econ.RegistrationUSD
+			}
 		}
 		c.ip = c.drawProxyIP()
 	}
@@ -196,6 +217,30 @@ func (c *client) reactionDelay() time.Duration {
 		d = floor
 	}
 	return d
+}
+
+// charge pays the marginal cost of one request, reporting false when the
+// client's budget is already spent — an exhausted client stops issuing
+// (and, because the check precedes identity resolution, stops rotating:
+// there is no budget left to re-register with).
+func (c *client) charge() bool {
+	if c.econ == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.econ.BudgetUSD > 0 && c.spentUSD >= c.econ.BudgetUSD {
+		return false
+	}
+	c.spentUSD += c.econ.RequestUSD
+	return true
+}
+
+// econSnapshot reads the client's ledger lines.
+func (c *client) econSnapshot() (spentUSD float64, registrations, burned int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spentUSD, c.registrations, c.burned
 }
 
 // takeRotations snapshots the client's rotation log.

@@ -31,6 +31,13 @@ type RuleDeployerConfig struct {
 	Window time.Duration
 	// Paths restricts counting to these request paths; empty watches all.
 	Paths []string
+	// Decoys, when non-nil, is the live honeypot inventory: an admitted
+	// request whose pnr query parameter names a decoy reference is
+	// journaled as a hit and its fingerprint blocked immediately — one
+	// decoy touch is hard enumeration evidence, no volume threshold
+	// applies. Honest clients book the references they were issued and
+	// never trip it.
+	Decoys *mitigate.DecoySet
 }
 
 // RuleDeployer is the server-side half of the arms race: a defender that
@@ -45,6 +52,7 @@ type RuleDeployer struct {
 	threshold int
 	window    time.Duration
 	watch     map[string]bool
+	decoys    *mitigate.DecoySet
 
 	mu       sync.Mutex
 	winStart time.Time
@@ -69,6 +77,7 @@ func NewRuleDeployer(cfg RuleDeployerConfig) *RuleDeployer {
 		threshold: cfg.Threshold,
 		window:    cfg.Window,
 		watch:     watch,
+		decoys:    cfg.Decoys,
 		counts:    make(map[uint64]int),
 		ruleAt:    make(map[uint64]time.Time),
 	}
@@ -77,15 +86,28 @@ func NewRuleDeployer(cfg RuleDeployerConfig) *RuleDeployer {
 // OnDecision is wired as the gate's decision hook. Blocklist denials are
 // not counted: a fingerprint already caught by a rule must not re-trigger
 // deployment, and everything else — including rate-limited requests — is
-// evidence of volume.
+// evidence of volume. With decoy inventory wired, an admitted request
+// touching a decoy reference deploys immediately, regardless of the
+// volume threshold or the watched-path set.
 func (d *RuleDeployer) OnDecision(r *http.Request, info httpgate.ClientInfo, deniedBy string) {
 	if !info.HasFingerprint || deniedBy == httpgate.ReasonBlocklist {
+		return
+	}
+	now := d.clock.Now()
+	if d.decoys != nil && deniedBy == "" {
+		if ref := r.URL.Query().Get("pnr"); ref != "" && d.decoys.IsDecoy(ref) {
+			d.decoys.RecordHit(ref, info.Fingerprint, info.ClientKey, now)
+			d.mu.Lock()
+			d.deployLocked(info.Fingerprint, now)
+			d.mu.Unlock()
+		}
+	}
+	if d.threshold <= 0 {
 		return
 	}
 	if len(d.watch) > 0 && !d.watch[r.URL.Path] {
 		return
 	}
-	now := d.clock.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.winStart.IsZero() {
@@ -99,12 +121,18 @@ func (d *RuleDeployer) OnDecision(r *http.Request, info httpgate.ClientInfo, den
 	if d.counts[info.Fingerprint] != d.threshold {
 		return
 	}
-	if _, dup := d.ruleAt[info.Fingerprint]; dup {
+	d.deployLocked(info.Fingerprint, now)
+}
+
+// deployLocked pushes a fingerprint rule unless one already exists.
+// Callers hold d.mu.
+func (d *RuleDeployer) deployLocked(fp uint64, now time.Time) {
+	if _, dup := d.ruleAt[fp]; dup {
 		return
 	}
-	d.blocks.Block("fp:"+strconv.FormatUint(info.Fingerprint, 16), now)
-	d.ruleAt[info.Fingerprint] = now
-	d.rules = append(d.rules, Rule{FP: info.Fingerprint, At: now})
+	d.blocks.Block("fp:"+strconv.FormatUint(fp, 16), now)
+	d.ruleAt[fp] = now
+	d.rules = append(d.rules, Rule{FP: fp, At: now})
 }
 
 // Rules snapshots the deployed rules in deployment order.

@@ -5,9 +5,10 @@ import "time"
 // Default request paths the built-in scenario shapes target, exported so
 // experiment commands and cluster runs agree on the watched surface.
 const (
-	PathSearch = "/search"
-	PathHold   = "/booking/hold"
-	PathSMS    = "/checkin/boardingpass/sms"
+	PathSearch  = "/search"
+	PathHold    = "/booking/hold"
+	PathSMS     = "/checkin/boardingpass/sms"
+	PathSeatMap = "/seatmap/bulk"
 )
 
 // LowAndSlowScenario is the distributed functional-abuse shape: honest

@@ -27,6 +27,14 @@ type ClassResult struct {
 	// MeanLatency is the mean intended-start latency (zero in virtual
 	// runs, where the clock stands still inside each request).
 	MeanLatency time.Duration
+	// Economics, populated when the class carries an EconModel: total
+	// spend, account registrations (initial fleet plus re-registrations),
+	// accounts burned by blocking rules, and scheduled arrivals skipped
+	// because a client's budget was spent.
+	SpendUSD      float64
+	Registrations int
+	Burned        int
+	BudgetSkipped uint64
 }
 
 // Completed is the number of requests that produced a gate verdict.
@@ -108,8 +116,13 @@ func (r *Runner) result() *Result {
 				cr.Denied[v] = n
 			}
 		}
+		cr.BudgetSkipped = t.budgetSkipped.Load()
 		for _, cl := range r.fleets[ci] {
 			cr.Rotations = append(cr.Rotations, cl.takeRotations()...)
+			spend, regs, burned := cl.econSnapshot()
+			cr.SpendUSD += spend
+			cr.Registrations += regs
+			cr.Burned += burned
 		}
 		if done := cr.Completed(); done > 0 {
 			cr.MeanLatency = time.Duration(t.latSumNanos.Load() / int64(done))

@@ -23,11 +23,16 @@ const (
 	metricRotations = "loadgen_rotations_total"
 	metricDegraded  = "loadgen_degraded_responses_total"
 	metricErrors    = "loadgen_transport_errors_total"
+	metricBudget    = "loadgen_budget_skipped_total"
 	metricLatency   = "loadgen_intended_latency_seconds"
 )
 
 // verdictAdmit labels responses that passed every gate layer.
 const verdictAdmit = "admit"
+
+// verdictBudgetExhausted marks arrivals never issued because the client's
+// budget was spent; Observe hooks see it with Status 0 and no header.
+const verdictBudgetExhausted = "budget-exhausted"
 
 // knownVerdicts pre-resolves one counter per verdict the gate can emit,
 // so the issue path never touches the registry lock.
@@ -35,6 +40,8 @@ var knownVerdicts = []string{
 	verdictAdmit,
 	httpgate.ReasonBlocklist,
 	httpgate.ReasonEntity,
+	httpgate.ReasonAccountTier,
+	httpgate.ReasonAccountLimit,
 	httpgate.ReasonChallenge,
 	httpgate.ReasonProfile,
 	httpgate.ReasonResource,
@@ -94,12 +101,13 @@ type Observation struct {
 // classTally is one class's atomic counters, read for the Result and by
 // the registry at scrape time.
 type classTally struct {
-	sent      atomic.Uint64
-	admitted  atomic.Uint64
-	degraded  atomic.Uint64
-	transport atomic.Uint64
-	denied    []atomic.Uint64 // indexed like knownVerdicts; 0 (admit) unused
-	other     atomic.Uint64
+	sent          atomic.Uint64
+	admitted      atomic.Uint64
+	degraded      atomic.Uint64
+	transport     atomic.Uint64
+	budgetSkipped atomic.Uint64
+	denied        []atomic.Uint64 // indexed like knownVerdicts; 0 (admit) unused
+	other         atomic.Uint64
 
 	// latSumNanos accumulates intended-start latency for the mean.
 	latSumNanos atomic.Int64
@@ -110,6 +118,7 @@ type classTally struct {
 	rotCounter      *obs.Counter
 	degCounter      *obs.Counter
 	errCounter      *obs.Counter
+	budgetCounter   *obs.Counter
 	latency         *obs.Histogram
 }
 
@@ -172,6 +181,7 @@ func newClassTally(reg *obs.Registry, arm, class string) *classTally {
 	reg.Help(metricRotations, "Adaptive-attacker fingerprint rotations by class.")
 	reg.Help(metricDegraded, "Responses carrying the X-Gate-Degraded header, by class.")
 	reg.Help(metricErrors, "Requests that failed at the transport layer, by class.")
+	reg.Help(metricBudget, "Scheduled arrivals skipped because the client's budget was spent, by class.")
 	reg.Help(metricLatency, "Latency from intended start (coordinated-omission-safe), by class.")
 	var base []obs.Label
 	if arm != "" {
@@ -189,6 +199,7 @@ func newClassTally(reg *obs.Registry, arm, class string) *classTally {
 	t.rotCounter = reg.Counter(metricRotations, base...)
 	t.degCounter = reg.Counter(metricDegraded, base...)
 	t.errCounter = reg.Counter(metricErrors, base...)
+	t.budgetCounter = reg.Counter(metricBudget, base...)
 	t.latency = reg.Histogram(metricLatency, nil, base...)
 	return t
 }
@@ -275,6 +286,19 @@ func (r *Runner) issue(a Arrival, intended time.Time) {
 	cl := r.fleets[a.Class][a.Client]
 	t := r.tally[a.Class]
 
+	// The budget check precedes identity resolution: a client with no
+	// money left neither sends nor re-registers.
+	if !cl.charge() {
+		t.budgetSkipped.Add(1)
+		if t.budgetCounter != nil {
+			t.budgetCounter.Inc()
+		}
+		if r.cfg.Observe != nil {
+			r.cfg.Observe(Observation{Arrival: a, Verdict: verdictBudgetExhausted})
+		}
+		return
+	}
+
 	fpHex, sid, ip, rotated := cl.identity(a.At)
 	if rotated && t.rotCounter != nil {
 		t.rotCounter.Inc()
@@ -283,7 +307,7 @@ func (r *Runner) issue(a Arrival, intended time.Time) {
 	t.sent.Add(1)
 	url := r.cfg.BaseURL + a.Path
 	if a.Resource >= 0 {
-		url += "?pnr=PNR" + fmt.Sprintf("%05d", a.Resource)
+		url += "?pnr=" + ResourceRef(a.Resource)
 	}
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {

@@ -114,6 +114,17 @@ type Class struct {
 	// distinct resource identities (booking references for the SMS path);
 	// each arrival draws one and sends it as the pnr query parameter.
 	Resources int
+	// ResourceBase offsets the drawn resource index, giving the class its
+	// own disjoint reference space — honest traffic books the inventory it
+	// was issued while an enumerating attacker walks a separate range the
+	// defender can seed with decoys. Zero keeps the historical [0,
+	// Resources) space.
+	ResourceBase int
+	// Econ, when non-nil on an abusive class, prices the attack: clients
+	// pay per account registration, per request and per burned account,
+	// and stop issuing when their budget is spent. Ignored for honest
+	// classes.
+	Econ *EconModel
 	// Phases is the arrival-rate schedule, played in order.
 	Phases []Phase
 	// ReactionMean is the mean delay between an abusive client noticing a
@@ -145,6 +156,9 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("loadgen: class %q has no paths", c.Name)
 		case len(c.Phases) == 0:
 			return fmt.Errorf("loadgen: class %q has no phases", c.Name)
+		}
+		if c.ResourceBase < 0 {
+			return fmt.Errorf("loadgen: class %q has a negative resource base", c.Name)
 		}
 		for _, ph := range c.Phases {
 			if ph.Dur < 0 || ph.Rate < 0 {
@@ -212,7 +226,7 @@ func BuildPlan(sc Scenario) (*Plan, error) {
 						Seq:      seq,
 					}
 					if c.Resources > 0 {
-						a.Resource = rng.Intn(c.Resources)
+						a.Resource = c.ResourceBase + rng.Intn(c.Resources)
 					}
 					arrivals = append(arrivals, a)
 					seq++
@@ -232,6 +246,22 @@ func BuildPlan(sc Scenario) (*Plan, error) {
 		return ai.Seq < aj.Seq
 	})
 	return &Plan{Scenario: sc, Arrivals: arrivals}, nil
+}
+
+// ResourceRef renders resource index i as the booking reference sent in
+// the pnr query parameter — shared by the runner, decoy seeding and
+// report joins so they agree on the reference namespace.
+func ResourceRef(i int) string { return fmt.Sprintf("PNR%05d", i) }
+
+// ClassRefs lists every booking reference class ci can draw — the
+// enumeration surface decoy seeding covers for that class.
+func (sc Scenario) ClassRefs(ci int) []string {
+	c := sc.Classes[ci]
+	refs := make([]string, c.Resources)
+	for i := range refs {
+		refs[i] = ResourceRef(c.ResourceBase + i)
+	}
+	return refs
 }
 
 // ClassCounts returns the scheduled request count per class, in class

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"funabuse/internal/account"
 	"funabuse/internal/entitygraph"
 	"funabuse/internal/httpgate"
 	"funabuse/internal/mitigate"
@@ -28,6 +29,28 @@ type TargetConfig struct {
 	RuleThreshold int
 	RuleWindow    time.Duration
 	RulePaths     []string
+
+	// Accounts, when non-nil, wires the account-lifecycle defence both
+	// ways: the gate's account layer resolves each client key's loyalty
+	// tier from the store — denying AccountRestricted paths below their
+	// minimum tier and rate-limiting per tier at AccountBaseLimit scaled
+	// by AccountMultipliers over AccountWindow — and an AccountFeeder
+	// creates accounts on first sight and accrues every identified
+	// request (admitted AccountBookingPaths hits count as bookings). The
+	// caller owns the store and may pre-register established members.
+	Accounts            *account.Store
+	AccountRestricted   map[string]int
+	AccountBaseLimit    int
+	AccountWindow       time.Duration
+	AccountMultipliers  []int
+	AccountBookingPaths []string
+
+	// Decoys, when non-nil, seeds the rule deployer's honeypot check: an
+	// admitted request touching a decoy booking reference is journaled
+	// and its fingerprint blocked immediately — enumeration evidence
+	// needs no volume threshold. A deployer is wired even when
+	// RuleThreshold is zero.
+	Decoys *mitigate.DecoySet
 
 	// EntityGraph, when non-nil, wires the entity-linkage defence both
 	// ways: the gate's entity layer denies requests whose fingerprint,
@@ -96,15 +119,32 @@ func NewTargetGate(cfg TargetConfig) (*httpgate.Gate, *mitigate.BlockList, *Rule
 	}
 	var deployer *RuleDeployer
 	var hooks []func(*http.Request, httpgate.ClientInfo, string)
-	if cfg.RuleThreshold > 0 {
+	if cfg.RuleThreshold > 0 || cfg.Decoys != nil {
 		deployer = NewRuleDeployer(RuleDeployerConfig{
 			Blocks:    blocks,
 			Clock:     cfg.Clock,
 			Threshold: cfg.RuleThreshold,
 			Window:    cfg.RuleWindow,
 			Paths:     cfg.RulePaths,
+			Decoys:    cfg.Decoys,
 		})
 		hooks = append(hooks, deployer.OnDecision)
+	}
+	var opts []httpgate.Option
+	if cfg.Accounts != nil {
+		opts = append(opts, httpgate.WithAccounts(httpgate.AccountPolicy{
+			Lookup:      cfg.Accounts,
+			Restricted:  cfg.AccountRestricted,
+			BaseLimit:   cfg.AccountBaseLimit,
+			Window:      cfg.AccountWindow,
+			Multipliers: cfg.AccountMultipliers,
+		}))
+		feeder := NewAccountFeeder(AccountFeederConfig{
+			Store:        cfg.Accounts,
+			Clock:        cfg.Clock,
+			BookingPaths: cfg.AccountBookingPaths,
+		})
+		hooks = append(hooks, feeder.OnDecision)
 	}
 	if cfg.EntityGraph != nil {
 		gcfg.Entities = cfg.EntityGraph
@@ -126,7 +166,6 @@ func NewTargetGate(cfg TargetConfig) (*httpgate.Gate, *mitigate.BlockList, *Rule
 			}
 		}
 	}
-	var opts []httpgate.Option
 	if cfg.Telemetry != nil {
 		opts = append(opts, httpgate.WithTelemetry(cfg.Telemetry))
 	}
